@@ -1,0 +1,90 @@
+"""Figure 8 — scale-up with the number of queries (paper §6.5).
+
+Batches of 2..10 similar queries over customer⋈orders⋈lineitem (some also
+joining nation/region). Reproduces both panels:
+
+* estimated cost: the CSE benefit grows roughly in proportion to the batch
+  size, with one or two candidates surviving pruning;
+* optimization time: near-linear growth with pruning enabled; the
+  no-pruning mode pays visibly more.
+"""
+
+import pytest
+
+from repro.api import Session
+from repro.bench.harness import MODE_CSE, MODE_NO_CSE, options_for
+from repro.optimizer.options import OptimizerOptions
+from repro.workloads import scaleup_batch
+
+BATCH_SIZES = (2, 4, 6, 8, 10)
+
+
+def _row(db, n):
+    sql = scaleup_batch(n)
+    no_cse = Session(db, options_for(MODE_NO_CSE)).optimize(sql)
+    with_cse = Session(db, options_for(MODE_CSE)).optimize(sql)
+    no_pruning = Session(
+        db, OptimizerOptions(enable_heuristics=False, max_cse_optimizations=8)
+    ).optimize(sql)
+    return {
+        "queries": n,
+        "est_no_cse": no_cse.est_cost,
+        "est_cse": with_cse.est_cost,
+        "opt_time_pruned": with_cse.stats.optimization_time,
+        "opt_time_unpruned": no_pruning.stats.optimization_time,
+        "candidates_pruned": with_cse.stats.candidates_generated,
+        "candidates_unpruned": no_pruning.stats.candidates_generated,
+        "used": with_cse.stats.used_cses,
+    }
+
+
+def test_figure8_scaleup(benchmark, bench_db):
+    rows = [_row(bench_db, n) for n in BATCH_SIZES]
+    print("\n== Figure 8: scale-up with the number of queries ==")
+    header = (
+        f"{'n':>3} | {'est cost (no CSE)':>18} | {'est cost (CSE)':>15} | "
+        f"{'opt time pruned':>16} | {'opt time unpruned':>18} | "
+        f"{'cands (p/u)':>12}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['queries']:>3} | {row['est_no_cse']:>18.1f} | "
+            f"{row['est_cse']:>15.1f} | {row['opt_time_pruned']:>16.3f} | "
+            f"{row['opt_time_unpruned']:>18.3f} | "
+            f"{row['candidates_pruned']}/{row['candidates_unpruned']:>10}"
+        )
+
+    # Panel 1: the absolute benefit grows with the batch size.
+    benefits = [r["est_no_cse"] - r["est_cse"] for r in rows]
+    assert benefits[0] > 0
+    assert benefits[-1] > 2 * benefits[0]
+    # A small number of candidates survives pruning at every size.
+    assert all(1 <= r["candidates_pruned"] <= 6 for r in rows)
+    # Panel 2: pruned optimization stays near-linear — compare the growth of
+    # per-query optimization time between the smallest and largest batch.
+    per_query_small = rows[0]["opt_time_pruned"] / rows[0]["queries"]
+    per_query_large = rows[-1]["opt_time_pruned"] / rows[-1]["queries"]
+    assert per_query_large < per_query_small * 25
+
+    benchmark.extra_info["series"] = rows
+    session = Session(bench_db, options_for(MODE_CSE))
+    benchmark(lambda: session.optimize(scaleup_batch(6)))
+
+
+def test_scaleup_execution_benefit(benchmark, bench_db):
+    """Execution cost drops by a growing factor as the batch grows."""
+    ratios = []
+    for n in (2, 6, 10):
+        sql = scaleup_batch(n)
+        with_cse = Session(bench_db, options_for(MODE_CSE)).execute(sql)
+        without = Session(bench_db, options_for(MODE_NO_CSE)).execute(sql)
+        ratios.append(
+            without.execution.metrics.cost_units
+            / with_cse.execution.metrics.cost_units
+        )
+    print(f"\nexecution speedups at n=2,6,10: {[round(r, 2) for r in ratios]}")
+    assert ratios[-1] > ratios[0]
+    session = Session(bench_db, options_for(MODE_CSE))
+    benchmark(lambda: session.execute(scaleup_batch(6)))

@@ -1,0 +1,52 @@
+"""Beyond the paper: the adapted TPC-H query suite.
+
+Not one of the paper's experiments — a general quality gate for the engine
+the reproduction is built on: all eight adapted TPC-H queries optimize and
+execute, and the sharing pairs behave sensibly when batched.
+"""
+
+import pytest
+
+from repro.api import Session
+from repro.optimizer.options import OptimizerOptions
+from repro.workloads.tpch_queries import (
+    ADAPTED_QUERIES,
+    SHARING_PAIRS,
+    adapted_batch,
+)
+
+
+def test_tpch_suite(benchmark, bench_db):
+    session = Session(bench_db, OptimizerOptions())
+    print("\n== Adapted TPC-H suite ==")
+    print(f"{'query':>6} | {'est cost':>10} | {'exec cost':>10} | "
+          f"{'rows':>6} | {'opt ms':>7}")
+    for name, sql in sorted(ADAPTED_QUERIES.items()):
+        outcome = session.execute(sql)
+        stats = outcome.optimization.stats
+        print(
+            f"{name:>6} | {outcome.est_cost:>10.1f} | "
+            f"{outcome.execution.metrics.cost_units:>10.1f} | "
+            f"{outcome.execution.results[0].row_count:>6} | "
+            f"{stats.optimization_time * 1000:>7.1f}"
+        )
+    benchmark(lambda: session.execute(ADAPTED_QUERIES["Q5"]))
+
+
+def test_tpch_sharing_pairs(benchmark, bench_db):
+    print("\n== Adapted TPC-H sharing pairs ==")
+    for pair in SHARING_PAIRS:
+        sql = adapted_batch(*pair)
+        shared = Session(bench_db, OptimizerOptions()).optimize(sql)
+        base = Session(
+            bench_db, OptimizerOptions(enable_cse=False)
+        ).optimize(sql)
+        print(
+            f"  {'+'.join(pair):>8}: est {base.est_cost:9.1f} -> "
+            f"{shared.est_cost:9.1f}  "
+            f"(candidates {shared.stats.candidates_generated}, "
+            f"used {shared.stats.used_cses or 'none'})"
+        )
+        assert shared.est_cost <= base.est_cost + 1e-6
+    session = Session(bench_db, OptimizerOptions())
+    benchmark(lambda: session.optimize(adapted_batch("Q3", "Q10")))

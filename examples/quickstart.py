@@ -1,0 +1,62 @@
+"""Quickstart: build a TPC-H database, run a batch, watch a covering
+subexpression get detected, constructed, and shared.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Session
+
+SQL = """
+select c_nationkey, sum(l_extendedprice) as revenue
+from customer, orders, lineitem
+where c_custkey = o_custkey and o_orderkey = l_orderkey
+  and o_orderdate < '1996-07-01'
+group by c_nationkey;
+
+select c_mktsegment, sum(l_quantity) as quantity
+from customer, orders, lineitem
+where c_custkey = o_custkey and o_orderkey = l_orderkey
+  and o_orderdate < '1996-07-01'
+group by c_mktsegment
+"""
+
+
+def main() -> None:
+    # A deterministic synthetic TPC-H database (scale factor 0.01 ≈ 60k
+    # lineitem rows), statistics collected, orders.o_orderdate indexed.
+    session = Session.tpch(scale_factor=0.01)
+
+    # Both queries join customer ⋈ orders ⋈ lineitem with the same date
+    # filter but group differently. The optimizer detects the similarity via
+    # table signatures, constructs a covering subexpression, and — if the
+    # cost model agrees — computes it once.
+    outcome = session.execute(SQL)
+
+    stats = outcome.optimization.stats
+    print("--- optimizer ---")
+    print(f"signature registrations : {stats.signature_registrations}")
+    print(f"sharable buckets        : {stats.sharable_buckets}")
+    print(f"candidates              : {stats.candidate_ids}")
+    print(f"CSEs used in final plan : {stats.used_cses}")
+    print(f"estimated cost          : {stats.est_cost_no_cse:.1f} -> "
+          f"{stats.est_cost_final:.1f}")
+
+    print("\n--- plan ---")
+    print(outcome.optimization.bundle.describe())
+
+    print("\n--- results ---")
+    for result in outcome.execution.results:
+        print(f"{result.name}: {result.row_count} rows, first 3:")
+        for row in result.rows[:3]:
+            print("   ", row)
+
+    metrics = outcome.execution.metrics
+    print("\n--- execution metrics ---")
+    print(f"cost units      : {metrics.cost_units:.1f}")
+    print(f"rows scanned    : {metrics.rows_scanned}")
+    print(f"spool rows write: {metrics.spool_rows_written}, "
+          f"read: {metrics.spool_rows_read}")
+
+
+if __name__ == "__main__":
+    main()

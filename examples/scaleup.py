@@ -1,0 +1,35 @@
+"""Figure 8 style scale-up study: how the CSE benefit and the optimization
+overhead behave as the batch grows from 2 to 10 queries.
+
+Run:  python examples/scaleup.py
+"""
+
+from repro import OptimizerOptions, Session
+from repro.workloads import scaleup_batch
+
+
+def main() -> None:
+    database = Session.tpch(scale_factor=0.01).database
+    print(f"{'queries':>8} | {'est cost, no CSE':>17} | {'est cost, CSE':>14} "
+          f"| {'benefit':>9} | {'opt time':>9} | {'CSEs used':>10}")
+    print("-" * 84)
+    for n in range(2, 11):
+        sql = scaleup_batch(n)
+        without = Session(
+            database, OptimizerOptions(enable_cse=False)
+        ).optimize(sql)
+        with_cse = Session(database, OptimizerOptions()).optimize(sql)
+        benefit = without.est_cost - with_cse.est_cost
+        print(
+            f"{n:>8} | {without.est_cost:>17.1f} | {with_cse.est_cost:>14.1f} "
+            f"| {benefit:>9.1f} | {with_cse.stats.optimization_time:>8.3f}s "
+            f"| {','.join(with_cse.stats.used_cses):>10}"
+        )
+    print(
+        "\nAs in the paper's Figure 8: the benefit grows with the batch "
+        "size while pruned optimization time stays near-linear."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""The paper's §1 motivation for *not* trusting user-written WITH clauses.
+
+A user can factor a shared subexpression with WITH, but the textually
+factored expression is rarely the best one to materialize. This library
+inlines SPJ common table expressions and lets the optimizer re-detect the
+sharing — choosing the covering subexpression cost-based.
+
+Run:  python examples/with_clause.py
+"""
+
+from repro import Session
+
+WITH_SQL = """
+with co as (
+    select c_custkey, c_nationkey, o_orderkey
+    from customer, orders
+    where c_custkey = o_custkey and o_orderdate < '1996-07-01'
+)
+select co.c_nationkey, sum(l_extendedprice) as revenue
+from co, lineitem
+where co.o_orderkey = l_orderkey
+group by co.c_nationkey;
+
+with co as (
+    select c_custkey, c_mktsegment, o_orderkey
+    from customer, orders
+    where c_custkey = o_custkey and o_orderdate < '1996-07-01'
+)
+select co.c_mktsegment, sum(l_quantity) as quantity
+from co, lineitem
+where co.o_orderkey = l_orderkey
+group by co.c_mktsegment
+"""
+
+
+def main() -> None:
+    session = Session.tpch(scale_factor=0.01)
+    result = session.optimize(WITH_SQL)
+    stats = result.stats
+
+    print("The user factored customer⋈orders into a WITH clause — but the "
+          "optimizer is free to pick a better sharing unit.")
+    print(f"\ncandidates considered : {stats.candidate_ids}")
+    for candidate in result.candidates:
+        definition = candidate.definition
+        print(f"  {definition.cse_id}: {definition.signature!r} "
+              f"({len(definition.consumer_groups)} consumers)")
+    print(f"CSEs used in the plan : {stats.used_cses}")
+    chosen = next(
+        c.definition for c in result.candidates
+        if c.cse_id in stats.used_cses
+    )
+    print(
+        f"\nThe chosen covering subexpression spans {chosen.signature!r} — "
+        "wider than the user's two-table WITH clause, and aggregated: "
+        "exactly the paper's point that the optimizer, not the user, should "
+        "pick the shared expression."
+    )
+    print(f"\nestimated cost: {stats.est_cost_no_cse:.1f} -> "
+          f"{stats.est_cost_final:.1f}")
+
+
+if __name__ == "__main__":
+    main()

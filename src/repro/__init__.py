@@ -1,0 +1,59 @@
+"""repro — a reproduction of "Efficient Exploitation of Similar
+Subexpressions for Query Processing" (Zhou, Larson, Freytag, Lehner;
+SIGMOD 2007).
+
+The package contains a complete, from-scratch query-processing stack —
+storage engine, TPC-H data generator, SQL frontend, Cascades-style
+cost-based optimizer, and vectorized executor — with the paper's
+contribution at its core: detection (table signatures), construction
+(covering subexpressions with cost-based heuristics), and correct
+cost-based optimization (LCA spool costing, candidate-subset enumeration,
+stacked CSEs) of similar subexpressions across query batches, nested
+queries, and materialized-view maintenance.
+
+Public entry points:
+
+* :class:`Session` — bind/optimize/execute SQL batches.
+* :func:`build_tpch_database` — the synthetic TPC-H substrate.
+* :class:`OptimizerOptions` — CSE knobs (α, β, heuristics, stacking, …).
+"""
+
+from .api import ExecutionOutcome, Session
+from .catalog.tpch import build_tpch_database
+from .errors import (
+    BindError,
+    CatalogError,
+    ExecutionError,
+    LexerError,
+    OptimizerError,
+    ParseError,
+    ReproError,
+    SqlError,
+    StorageError,
+    UnsupportedFeatureError,
+)
+from .optimizer.options import OptimizerOptions
+from .optimizer.cost import CostModel
+from .storage.database import Database
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Session",
+    "ExecutionOutcome",
+    "build_tpch_database",
+    "Database",
+    "OptimizerOptions",
+    "CostModel",
+    "ReproError",
+    "CatalogError",
+    "StorageError",
+    "SqlError",
+    "LexerError",
+    "ParseError",
+    "BindError",
+    "OptimizerError",
+    "ExecutionError",
+    "UnsupportedFeatureError",
+    "__version__",
+]

@@ -1,0 +1,149 @@
+"""High-level API: the :class:`Session` facade.
+
+Typical use::
+
+    from repro import Session
+
+    session = Session.tpch(scale_factor=0.01)
+    outcome = session.execute('''
+        select c_nationkey, sum(l_extendedprice) as le
+        from customer, orders, lineitem
+        where c_custkey = o_custkey and o_orderkey = l_orderkey
+        group by c_nationkey;
+
+        select c_mktsegment, sum(l_quantity) as lq
+        from customer, orders, lineitem
+        where c_custkey = o_custkey and o_orderkey = l_orderkey
+        group by c_mktsegment
+    ''')
+    print(outcome.optimization.stats.used_cses)   # shared subexpressions
+    print(outcome.execution.query("Q1").rows[:5])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from .errors import ReproError
+from .executor.executor import BatchResult, Executor
+from .logical.blocks import BoundBatch, BoundQuery
+from .optimizer.cost import CostModel
+from .optimizer.engine import OptimizationResult, Optimizer
+from .optimizer.options import OptimizerOptions
+from .sql.binder import Binder
+from .sql.parser import parse_batch
+from .storage.database import Database
+
+
+@dataclass
+class ExecutionOutcome:
+    """The result of :meth:`Session.execute`: plans plus rows plus metrics."""
+
+    optimization: OptimizationResult
+    execution: BatchResult
+
+    @property
+    def est_cost(self) -> float:
+        """The optimizer's estimated cost of the chosen bundle."""
+        return self.optimization.est_cost
+
+    @property
+    def measured_cost(self) -> float:
+        """Deterministic cost units measured during execution."""
+        return self.execution.metrics.cost_units
+
+
+class Session:
+    """A connection-like facade over a database, optimizer, and executor."""
+
+    def __init__(
+        self,
+        database: Database,
+        options: Optional[OptimizerOptions] = None,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        self.database = database
+        self.options = options or OptimizerOptions()
+        self.cost_model = cost_model or CostModel()
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def tpch(
+        cls,
+        scale_factor: float = 0.01,
+        seed: int = 20070612,
+        options: Optional[OptimizerOptions] = None,
+    ) -> "Session":
+        """A session over a freshly generated TPC-H database."""
+        from .catalog.tpch import build_tpch_database
+
+        return cls(build_tpch_database(scale_factor, seed), options)
+
+    # -- binding -------------------------------------------------------------
+
+    def bind(
+        self, sql: str, names: Optional[Sequence[str]] = None
+    ) -> BoundBatch:
+        """Parse and bind a semicolon-separated query batch."""
+        return Binder(self.database.catalog).bind_batch(parse_batch(sql), names)
+
+    def _as_batch(self, target: Union[str, BoundBatch, BoundQuery]) -> BoundBatch:
+        if isinstance(target, str):
+            return self.bind(target)
+        if isinstance(target, BoundQuery):
+            return BoundBatch(queries=[target])
+        if isinstance(target, BoundBatch):
+            return target
+        raise ReproError(f"cannot optimize {type(target).__name__}")
+
+    # -- optimization & execution ------------------------------------------
+
+    def optimize(
+        self, target: Union[str, BoundBatch, BoundQuery]
+    ) -> OptimizationResult:
+        """Optimize a batch (CSE detection/exploitation per session options)."""
+        batch = self._as_batch(target)
+        optimizer = Optimizer(self.database, self.options, self.cost_model)
+        return optimizer.optimize(batch)
+
+    def execute(
+        self, target: Union[str, BoundBatch, BoundQuery]
+    ) -> ExecutionOutcome:
+        """Optimize then execute; returns plans, rows, and metrics."""
+        result = self.optimize(target)
+        executor = Executor(self.database, self.cost_model)
+        execution = executor.execute(result.bundle)
+        return ExecutionOutcome(optimization=result, execution=execution)
+
+    def execute_bundle(self, result: OptimizationResult) -> BatchResult:
+        """Execute a previously optimized bundle."""
+        return Executor(self.database, self.cost_model).execute(result.bundle)
+
+    def explain(
+        self,
+        target: Union[str, BoundBatch, BoundQuery],
+        costs: bool = False,
+    ) -> str:
+        """The optimized plan as text, including any shared spools.
+
+        With ``costs=True`` every operator is annotated with its local and
+        cumulative estimated cost.
+        """
+        result = self.optimize(target)
+        header = [
+            f"estimated cost: {result.est_cost:.2f} "
+            f"(without CSEs: {result.stats.est_cost_no_cse:.2f})",
+            f"candidates: {result.stats.candidate_ids}"
+            f" used: {result.stats.used_cses}",
+        ]
+        if costs:
+            from .optimizer.explain import explain_with_costs
+
+            body = explain_with_costs(
+                self.database, result.bundle, self.cost_model
+            )
+        else:
+            body = result.bundle.describe()
+        return "\n".join(header) + "\n" + body

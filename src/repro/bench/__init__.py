@@ -1,0 +1,19 @@
+"""Benchmark harness: regenerates the paper's experiment tables/figures."""
+
+from .harness import (
+    MODE_CSE,
+    MODE_NO_CSE,
+    MODE_NO_HEURISTICS,
+    ScenarioResult,
+    format_table,
+    run_scenario,
+)
+
+__all__ = [
+    "MODE_CSE",
+    "MODE_NO_CSE",
+    "MODE_NO_HEURISTICS",
+    "ScenarioResult",
+    "format_table",
+    "run_scenario",
+]

@@ -1,0 +1,133 @@
+"""Shared machinery for the experiment benchmarks.
+
+Each experiment runs a workload in the paper's three modes and reports the
+same rows its tables do:
+
+* ``# of CSEs [CSE Opts]`` — candidates given to the optimizer and the
+  number of CSE optimization passes,
+* ``Optimization time`` — wall-clock seconds in the optimizer,
+* ``Estimated cost`` — the optimizer's cost for the chosen plan,
+* ``Execution cost`` — deterministic cost units measured by the executor
+  (the hardware-independent stand-in for the paper's execution seconds),
+* ``Execution time`` — wall-clock seconds in the executor.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..api import Session
+from ..optimizer.options import OptimizerOptions
+from ..storage.database import Database
+
+MODE_NO_CSE = "No CSE"
+MODE_CSE = "Using CSEs"
+MODE_NO_HEURISTICS = "Using CSEs (no heuristics)"
+
+
+def bench_scale_factor(default: float = 0.01) -> float:
+    """Scale factor for benchmarks; override with REPRO_BENCH_SF."""
+    return float(os.environ.get("REPRO_BENCH_SF", default))
+
+
+def options_for(mode: str) -> OptimizerOptions:
+    """Optimizer options for one of the paper's three modes."""
+    if mode == MODE_NO_CSE:
+        return OptimizerOptions(enable_cse=False)
+    if mode == MODE_CSE:
+        return OptimizerOptions()
+    if mode == MODE_NO_HEURISTICS:
+        return OptimizerOptions(
+            enable_heuristics=False, max_cse_optimizations=16
+        )
+    raise ValueError(f"unknown mode {mode!r}")
+
+
+@dataclass
+class ScenarioResult:
+    """One mode's measurements for one workload."""
+
+    mode: str
+    candidates: int
+    cse_optimizations: int
+    optimization_time: float
+    est_cost: float
+    exec_cost: float
+    exec_time: float
+    used_cses: List[str] = field(default_factory=list)
+    candidate_ids: List[str] = field(default_factory=list)
+
+    @property
+    def cses_cell(self) -> str:
+        """The table cell '<candidates> [<passes>]' (N/A without CSEs)."""
+        if self.mode == MODE_NO_CSE:
+            return "N/A"
+        return f"{self.candidates} [{self.cse_optimizations}]"
+
+
+def run_mode(database: Database, sql: str, mode: str) -> ScenarioResult:
+    """Optimize + execute one workload in one mode."""
+    session = Session(database, options_for(mode))
+    outcome = session.execute(sql)
+    stats = outcome.optimization.stats
+    return ScenarioResult(
+        mode=mode,
+        candidates=stats.candidates_generated,
+        cse_optimizations=stats.cse_optimizations,
+        optimization_time=stats.optimization_time,
+        est_cost=outcome.est_cost,
+        exec_cost=outcome.execution.metrics.cost_units,
+        exec_time=outcome.execution.wall_time,
+        used_cses=list(stats.used_cses),
+        candidate_ids=list(stats.candidate_ids),
+    )
+
+
+def run_scenario(
+    database: Database,
+    sql: str,
+    modes: Sequence[str] = (MODE_NO_CSE, MODE_CSE, MODE_NO_HEURISTICS),
+) -> List[ScenarioResult]:
+    """Run a workload in all requested modes."""
+    return [run_mode(database, sql, mode) for mode in modes]
+
+
+def format_table(
+    title: str,
+    results: Sequence[ScenarioResult],
+    paper_reference: Optional[Dict[str, str]] = None,
+) -> str:
+    """Render results the way the paper's tables read."""
+    headers = [""] + [r.mode for r in results]
+    rows = [
+        ["# of CSEs [CSE Opts]"] + [r.cses_cell for r in results],
+        ["Optimization time (secs)"]
+        + [f"{r.optimization_time:.3f}" for r in results],
+        ["Estimated cost"] + [f"{r.est_cost:.2f}" for r in results],
+        ["Execution cost (units)"] + [f"{r.exec_cost:.2f}" for r in results],
+        ["Execution time (secs)"] + [f"{r.exec_time:.3f}" for r in results],
+    ]
+    widths = [
+        max(len(str(line[i])) for line in [headers] + rows)
+        for i in range(len(headers))
+    ]
+
+    def fmt(line):
+        return " | ".join(str(v).ljust(w) for v, w in zip(line, widths))
+
+    out = [f"== {title} ==", fmt(headers), "-+-".join("-" * w for w in widths)]
+    out.extend(fmt(line) for line in rows)
+    if paper_reference:
+        out.append("")
+        out.append("paper reference: " + "; ".join(
+            f"{k}: {v}" for k, v in paper_reference.items()
+        ))
+    return "\n".join(out)
+
+
+def speedup(results: Sequence[ScenarioResult]) -> float:
+    """Execution-cost reduction of "Using CSEs" vs "No CSE"."""
+    by_mode = {r.mode: r for r in results}
+    return by_mode[MODE_NO_CSE].exec_cost / by_mode[MODE_CSE].exec_cost

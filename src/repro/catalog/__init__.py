@@ -1,0 +1,12 @@
+"""Catalog: schema metadata, statistics, and the TPC-H data generator."""
+
+from .schema import Catalog, ColumnSchema, TableSchema
+from .statistics import ColumnStats, TableStats
+
+__all__ = [
+    "Catalog",
+    "ColumnSchema",
+    "TableSchema",
+    "ColumnStats",
+    "TableStats",
+]

@@ -1,0 +1,330 @@
+"""Deterministic synthetic TPC-H database generator.
+
+The paper evaluates against a 1 GB TPC-H database (scale factor 1). We cannot
+ship or regenerate the official ``dbgen`` data, so this module builds a
+synthetic equivalent: all eight TPC-H tables with the official key structure,
+cardinality ratios (customer : orders : lineitem = 1 : 10 : ~40), realistic
+date ranges, market segments, and part types. Generation is fully
+deterministic for a given ``(scale_factor, seed)`` pair.
+
+One deliberate deviation: the paper's query ``Q4`` (§6.2) selects
+``p_availqty`` from ``part`` (official TPC-H keeps ``ps_availqty`` in
+``partsupp``); we add ``p_availqty`` to ``part`` so the paper's queries run
+verbatim. ``partsupp`` keeps its own ``ps_availqty`` as well.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..storage.database import Database
+from ..types import DataType, date_to_int
+from .schema import ColumnSchema, IndexSchema, TableSchema
+
+#: Base cardinalities at scale factor 1.0 (official TPC-H values; lineitem is
+#: derived from orders with 1..7 lines per order, averaging 4).
+BASE_CARDINALITIES = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "customer": 150_000,
+    "orders": 1_500_000,
+}
+
+REGION_NAMES = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+NATION_NAMES = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+    "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+    "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+    "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES",
+]
+
+#: region of each nation, by nation key (official TPC-H mapping).
+NATION_REGIONS = [
+    0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2, 4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1,
+]
+
+MARKET_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]
+
+PART_TYPE_CLASSES = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+PART_TYPE_SURFACES = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+PART_TYPE_MATERIALS = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+
+ORDER_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+
+DATE_LO = date_to_int("1992-01-01")
+DATE_HI = date_to_int("1998-08-02")
+
+
+def tpch_catalog_schemas() -> List[TableSchema]:
+    """Schemas for the eight TPC-H tables (plus indexes used by the paper)."""
+    integer = DataType.INT
+    real = DataType.FLOAT
+    text = DataType.STRING
+    date = DataType.DATE
+    return [
+        TableSchema(
+            "region",
+            [
+                ColumnSchema("r_regionkey", integer),
+                ColumnSchema("r_name", text),
+                ColumnSchema("r_comment", text),
+            ],
+            primary_key=("r_regionkey",),
+        ),
+        TableSchema(
+            "nation",
+            [
+                ColumnSchema("n_nationkey", integer),
+                ColumnSchema("n_name", text),
+                ColumnSchema("n_regionkey", integer),
+                ColumnSchema("n_comment", text),
+            ],
+            primary_key=("n_nationkey",),
+        ),
+        TableSchema(
+            "supplier",
+            [
+                ColumnSchema("s_suppkey", integer),
+                ColumnSchema("s_name", text),
+                ColumnSchema("s_nationkey", integer),
+                ColumnSchema("s_acctbal", real),
+            ],
+            primary_key=("s_suppkey",),
+        ),
+        TableSchema(
+            "part",
+            [
+                ColumnSchema("p_partkey", integer),
+                ColumnSchema("p_name", text),
+                ColumnSchema("p_type", text),
+                ColumnSchema("p_size", integer),
+                ColumnSchema("p_retailprice", real),
+                ColumnSchema("p_availqty", integer),
+            ],
+            primary_key=("p_partkey",),
+        ),
+        TableSchema(
+            "partsupp",
+            [
+                ColumnSchema("ps_partkey", integer),
+                ColumnSchema("ps_suppkey", integer),
+                ColumnSchema("ps_availqty", integer),
+                ColumnSchema("ps_supplycost", real),
+            ],
+            primary_key=("ps_partkey", "ps_suppkey"),
+        ),
+        TableSchema(
+            "customer",
+            [
+                ColumnSchema("c_custkey", integer),
+                ColumnSchema("c_name", text),
+                ColumnSchema("c_nationkey", integer),
+                ColumnSchema("c_mktsegment", text),
+                ColumnSchema("c_acctbal", real),
+            ],
+            primary_key=("c_custkey",),
+        ),
+        TableSchema(
+            "orders",
+            [
+                ColumnSchema("o_orderkey", integer),
+                ColumnSchema("o_custkey", integer),
+                ColumnSchema("o_orderstatus", text),
+                ColumnSchema("o_totalprice", real),
+                ColumnSchema("o_orderdate", date),
+                ColumnSchema("o_orderpriority", text),
+            ],
+            primary_key=("o_orderkey",),
+            indexes=[
+                IndexSchema("idx_orders_orderdate", "orders", "o_orderdate"),
+            ],
+        ),
+        TableSchema(
+            "lineitem",
+            [
+                ColumnSchema("l_orderkey", integer),
+                ColumnSchema("l_partkey", integer),
+                ColumnSchema("l_suppkey", integer),
+                ColumnSchema("l_linenumber", integer),
+                ColumnSchema("l_quantity", real),
+                ColumnSchema("l_extendedprice", real),
+                ColumnSchema("l_discount", real),
+                ColumnSchema("l_tax", real),
+                ColumnSchema("l_shipdate", date),
+                ColumnSchema("l_returnflag", text),
+            ],
+            primary_key=("l_orderkey", "l_linenumber"),
+        ),
+    ]
+
+
+def _scaled(table: str, scale_factor: float) -> int:
+    base = BASE_CARDINALITIES[table]
+    if table in ("region", "nation"):
+        return base
+    return max(1, int(round(base * scale_factor)))
+
+
+def generate_tpch_data(
+    scale_factor: float = 0.01, seed: int = 20070612
+) -> Dict[str, Dict[str, np.ndarray]]:
+    """Generate column data for all eight tables.
+
+    ``seed`` defaults to the paper's publication date; any fixed seed gives a
+    reproducible database.
+    """
+    rng = np.random.default_rng(seed)
+    data: Dict[str, Dict[str, np.ndarray]] = {}
+
+    # region ---------------------------------------------------------------
+    region_keys = np.arange(len(REGION_NAMES), dtype=np.int64)
+    data["region"] = {
+        "r_regionkey": region_keys,
+        "r_name": np.array(REGION_NAMES, dtype=object),
+        "r_comment": np.array(
+            [f"region comment {i}" for i in region_keys], dtype=object
+        ),
+    }
+
+    # nation ---------------------------------------------------------------
+    nation_keys = np.arange(len(NATION_NAMES), dtype=np.int64)
+    data["nation"] = {
+        "n_nationkey": nation_keys,
+        "n_name": np.array(NATION_NAMES, dtype=object),
+        "n_regionkey": np.array(NATION_REGIONS, dtype=np.int64),
+        "n_comment": np.array(
+            [f"nation comment {i}" for i in nation_keys], dtype=object
+        ),
+    }
+
+    # supplier ---------------------------------------------------------------
+    n_supplier = _scaled("supplier", scale_factor)
+    supp_keys = np.arange(1, n_supplier + 1, dtype=np.int64)
+    data["supplier"] = {
+        "s_suppkey": supp_keys,
+        "s_name": np.array(
+            [f"Supplier#{k:09d}" for k in supp_keys], dtype=object
+        ),
+        "s_nationkey": rng.integers(0, 25, n_supplier, dtype=np.int64),
+        "s_acctbal": np.round(rng.uniform(-999.99, 9999.99, n_supplier), 2),
+    }
+
+    # part -------------------------------------------------------------------
+    n_part = _scaled("part", scale_factor)
+    part_keys = np.arange(1, n_part + 1, dtype=np.int64)
+    type_a = rng.integers(0, len(PART_TYPE_CLASSES), n_part)
+    type_b = rng.integers(0, len(PART_TYPE_SURFACES), n_part)
+    type_c = rng.integers(0, len(PART_TYPE_MATERIALS), n_part)
+    part_types = np.array(
+        [
+            f"{PART_TYPE_CLASSES[a]} {PART_TYPE_SURFACES[b]} {PART_TYPE_MATERIALS[c]}"
+            for a, b, c in zip(type_a, type_b, type_c)
+        ],
+        dtype=object,
+    )
+    data["part"] = {
+        "p_partkey": part_keys,
+        "p_name": np.array([f"part {k}" for k in part_keys], dtype=object),
+        "p_type": part_types,
+        "p_size": rng.integers(1, 51, n_part, dtype=np.int64),
+        "p_retailprice": np.round(900.0 + (part_keys % 1000) * 0.1, 2),
+        "p_availqty": rng.integers(1, 10_000, n_part, dtype=np.int64),
+    }
+
+    # partsupp -----------------------------------------------------------------
+    n_partsupp = _scaled("partsupp", scale_factor)
+    ps_part = rng.integers(1, n_part + 1, n_partsupp, dtype=np.int64)
+    ps_supp = rng.integers(1, n_supplier + 1, n_partsupp, dtype=np.int64)
+    data["partsupp"] = {
+        "ps_partkey": ps_part,
+        "ps_suppkey": ps_supp,
+        "ps_availqty": rng.integers(1, 10_000, n_partsupp, dtype=np.int64),
+        "ps_supplycost": np.round(rng.uniform(1.0, 1000.0, n_partsupp), 2),
+    }
+
+    # customer -----------------------------------------------------------------
+    n_customer = _scaled("customer", scale_factor)
+    cust_keys = np.arange(1, n_customer + 1, dtype=np.int64)
+    segments = np.array(MARKET_SEGMENTS, dtype=object)[
+        rng.integers(0, len(MARKET_SEGMENTS), n_customer)
+    ]
+    data["customer"] = {
+        "c_custkey": cust_keys,
+        "c_name": np.array(
+            [f"Customer#{k:09d}" for k in cust_keys], dtype=object
+        ),
+        "c_nationkey": rng.integers(0, 25, n_customer, dtype=np.int64),
+        "c_mktsegment": segments,
+        "c_acctbal": np.round(rng.uniform(-999.99, 9999.99, n_customer), 2),
+    }
+
+    # orders ---------------------------------------------------------------
+    n_orders = _scaled("orders", scale_factor)
+    order_keys = np.arange(1, n_orders + 1, dtype=np.int64)
+    order_dates = rng.integers(DATE_LO, DATE_HI + 1, n_orders, dtype=np.int64)
+    data["orders"] = {
+        "o_orderkey": order_keys,
+        "o_custkey": rng.integers(1, n_customer + 1, n_orders, dtype=np.int64),
+        "o_orderstatus": np.array(["O", "F", "P"], dtype=object)[
+            rng.integers(0, 3, n_orders)
+        ],
+        "o_totalprice": np.round(rng.uniform(850.0, 500_000.0, n_orders), 2),
+        "o_orderdate": order_dates,
+        "o_orderpriority": np.array(ORDER_PRIORITIES, dtype=object)[
+            rng.integers(0, len(ORDER_PRIORITIES), n_orders)
+        ],
+    }
+
+    # lineitem -----------------------------------------------------------------
+    lines_per_order = rng.integers(1, 8, n_orders, dtype=np.int64)
+    l_orderkey = np.repeat(order_keys, lines_per_order)
+    l_orderdate = np.repeat(order_dates, lines_per_order)
+    n_lineitem = len(l_orderkey)
+    l_linenumber = np.concatenate(
+        [np.arange(1, c + 1, dtype=np.int64) for c in lines_per_order]
+    )
+    quantities = rng.integers(1, 51, n_lineitem).astype(np.float64)
+    prices = np.round(quantities * rng.uniform(900.0, 1100.0, n_lineitem), 2)
+    ship_delay = rng.integers(1, 122, n_lineitem, dtype=np.int64)
+    data["lineitem"] = {
+        "l_orderkey": l_orderkey,
+        "l_partkey": rng.integers(1, n_part + 1, n_lineitem, dtype=np.int64),
+        "l_suppkey": rng.integers(1, n_supplier + 1, n_lineitem, dtype=np.int64),
+        "l_linenumber": l_linenumber,
+        "l_quantity": quantities,
+        "l_extendedprice": prices,
+        "l_discount": np.round(rng.uniform(0.0, 0.10, n_lineitem), 2),
+        "l_tax": np.round(rng.uniform(0.0, 0.08, n_lineitem), 2),
+        "l_shipdate": l_orderdate + ship_delay,
+        "l_returnflag": np.array(["R", "A", "N"], dtype=object)[
+            rng.integers(0, 3, n_lineitem)
+        ],
+    }
+    return data
+
+
+def build_tpch_database(
+    scale_factor: float = 0.01,
+    seed: int = 20070612,
+    analyze: bool = True,
+    histogram_buckets: int = 32,
+) -> Database:
+    """Create, load, and (optionally) analyze a TPC-H database."""
+    database = Database()
+    data = generate_tpch_data(scale_factor, seed)
+    for schema in tpch_catalog_schemas():
+        database.create_table(schema, data[schema.name])
+    # Index registration happened at create_table time; refresh after load.
+    for schema in tpch_catalog_schemas():
+        for index_schema in schema.indexes:
+            database.index(index_schema.name).refresh()
+    if analyze:
+        database.analyze(histogram_buckets=histogram_buckets)
+    return database

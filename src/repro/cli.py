@@ -1,0 +1,230 @@
+"""Command-line interface.
+
+Usage examples::
+
+    python -m repro query "select r_name from region"
+    python -m repro query --compare --sf 0.01 "$(cat batch.sql)"
+    python -m repro explain "select ... ; select ..."
+    python -m repro bench table1
+    python -m repro bench maintenance
+
+The ``query`` command optimizes and executes a (batch of) SQL statement(s)
+against a synthetic TPC-H database; ``explain`` prints the chosen plan;
+``bench`` reproduces one of the paper's experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .api import Session
+from .errors import ReproError
+from .optimizer.options import OptimizerOptions
+
+_BENCH_CHOICES = (
+    "table1", "table2", "table3", "table4", "fig8", "maintenance", "all",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for the repro CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Similar-subexpression query processing (SIGMOD 2007 "
+            "reproduction) over a synthetic TPC-H database."
+        ),
+    )
+    parser.add_argument(
+        "--sf", type=float, default=0.01,
+        help="TPC-H scale factor (default 0.01)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=20070612, help="data generator seed"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    query = sub.add_parser("query", help="optimize and execute SQL")
+    query.add_argument("sql", help="SQL text (use ; to separate a batch)")
+    query.add_argument("--no-cse", action="store_true")
+    query.add_argument("--no-heuristics", action="store_true")
+    query.add_argument(
+        "--compare", action="store_true",
+        help="run no-CSE / CSE / no-heuristics side by side",
+    )
+    query.add_argument(
+        "--rows", type=int, default=10, help="rows to print per query"
+    )
+
+    explain = sub.add_parser("explain", help="print the optimized plan")
+    explain.add_argument("sql")
+    explain.add_argument("--no-cse", action="store_true")
+    explain.add_argument("--no-heuristics", action="store_true")
+    explain.add_argument(
+        "--costs", action="store_true",
+        help="annotate every operator with estimated costs",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="reproduce one of the paper's experiments"
+    )
+    bench.add_argument("experiment", choices=_BENCH_CHOICES)
+    return parser
+
+
+def _options(args: argparse.Namespace) -> OptimizerOptions:
+    if getattr(args, "no_cse", False):
+        return OptimizerOptions(enable_cse=False)
+    if getattr(args, "no_heuristics", False):
+        return OptimizerOptions(
+            enable_heuristics=False, max_cse_optimizations=16
+        )
+    return OptimizerOptions()
+
+
+def _cmd_query(args: argparse.Namespace, out) -> int:
+    database = Session.tpch(scale_factor=args.sf, seed=args.seed).database
+    if args.compare:
+        from .bench.harness import format_table, run_scenario
+
+        results = run_scenario(database, args.sql)
+        print(format_table("comparison", results), file=out)
+        return 0
+    session = Session(database, _options(args))
+    outcome = session.execute(args.sql)
+    stats = outcome.optimization.stats
+    print(
+        f"-- estimated cost {stats.est_cost_no_cse:.1f} -> "
+        f"{stats.est_cost_final:.1f}; CSEs used: {stats.used_cses or 'none'}",
+        file=out,
+    )
+    for result in outcome.execution.results:
+        print(f"\n{result.name} ({result.row_count} rows):", file=out)
+        print("  " + " | ".join(result.columns), file=out)
+        for row in result.rows[: args.rows]:
+            print("  " + " | ".join(str(v) for v in row), file=out)
+        if result.row_count > args.rows:
+            print(f"  ... {result.row_count - args.rows} more", file=out)
+    metrics = outcome.execution.metrics
+    print(
+        f"\n-- execution: {metrics.cost_units:.1f} cost units, "
+        f"{metrics.rows_scanned} rows scanned, "
+        f"{metrics.spools_materialized} spool(s)",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace, out) -> int:
+    session = Session.tpch(scale_factor=args.sf, seed=args.seed)
+    session.options = _options(args)
+    print(session.explain(args.sql, costs=args.costs), file=out)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace, out) -> int:
+    from .bench.harness import format_table, run_scenario
+    from .workloads import (
+        complex_join_batch,
+        example1_batch,
+        example1_with_q4,
+        nested_query,
+        scaleup_batch,
+    )
+
+    database = Session.tpch(scale_factor=args.sf, seed=args.seed).database
+    if args.experiment == "all":
+        from .bench.report import generate_report
+
+        print(generate_report(database, args.sf), file=out)
+        return 0
+    if args.experiment == "table1":
+        print(format_table(
+            "Table 1: query batch (Q1, Q2, Q3)",
+            run_scenario(database, example1_batch()),
+        ), file=out)
+    elif args.experiment == "table2":
+        print(format_table(
+            "Table 2: query batch (Q1..Q4)",
+            run_scenario(database, example1_with_q4()),
+        ), file=out)
+    elif args.experiment == "table3":
+        print(format_table(
+            "Table 3: nested query",
+            run_scenario(database, nested_query()),
+        ), file=out)
+    elif args.experiment == "table4":
+        print(format_table(
+            "Table 4: complex joins",
+            run_scenario(database, complex_join_batch()),
+        ), file=out)
+    elif args.experiment == "fig8":
+        from .bench.harness import MODE_CSE, MODE_NO_CSE, options_for
+
+        print("n | est cost no CSE | est cost CSE | opt time", file=out)
+        for n in range(2, 11, 2):
+            sql = scaleup_batch(n)
+            no = Session(database, options_for(MODE_NO_CSE)).optimize(sql)
+            yes = Session(database, options_for(MODE_CSE)).optimize(sql)
+            print(
+                f"{n} | {no.est_cost:15.1f} | {yes.est_cost:12.1f} | "
+                f"{yes.stats.optimization_time:.3f}s",
+                file=out,
+            )
+    elif args.experiment == "maintenance":
+        import numpy as np
+
+        from .views.maintenance import MaintenancePlanner
+        from .views.materialized import ViewManager
+        from .workloads.example1 import Q1_SQL, Q2_SQL, Q3_SQL
+
+        def setup(options):
+            db = Session.tpch(scale_factor=args.sf, seed=args.seed).database
+            manager = ViewManager(db)
+            for i, sql in enumerate((Q1_SQL, Q2_SQL, Q3_SQL), 1):
+                manager.create_view(f"mv{i}", sql)
+            manager.refresh_all()
+            return MaintenancePlanner(db, manager, options)
+
+        rng = np.random.default_rng(7)
+        rows = [
+            (
+                80_000_000 + i,
+                f"Customer#{80_000_000 + i}",
+                int(rng.integers(0, 25)),
+                "BUILDING",
+                100.0,
+            )
+            for i in range(100)
+        ]
+        with_cse = setup(OptimizerOptions()).apply_insert("customer", rows)
+        without = setup(OptimizerOptions(enable_cse=False)).apply_insert(
+            "customer", rows
+        )
+        print(
+            f"maintenance cost: {without.measured_cost:.1f} without CSEs, "
+            f"{with_cse.measured_cost:.1f} with "
+            f"({without.measured_cost / with_cse.measured_cost:.2f}x)",
+            file=out,
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "query":
+            return _cmd_query(args, out)
+        if args.command == "explain":
+            return _cmd_explain(args, out)
+        if args.command == "bench":
+            return _cmd_bench(args, out)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 2

@@ -1,0 +1,52 @@
+"""Core contribution: detection, construction, and cost-based optimization
+of covering subexpressions (CSEs), after Zhou, Larson, Freytag & Lehner,
+"Efficient Exploitation of Similar Subexpressions for Query Processing"
+(SIGMOD 2007)."""
+
+from .signature import TableSignature, signature_of_tree
+from .manager import CseManager
+from .compatibility import (
+    compatibility_groups,
+    derive_compatibility_from_parts,
+    join_compatible,
+)
+from .construct import CseDefinition, construct_cse, estimate_cse_rows
+from .candidates import CandidateCse, CandidateIdAllocator, generate_candidates
+from .heuristics import (
+    HeuristicConfig,
+    PruneTrace,
+    heuristic1_keep,
+    heuristic2_filter,
+    heuristic4_filter,
+    is_contained,
+    merge_benefit,
+)
+from .matching import ConsumerSpec, build_consumer_specs, try_match_consumer
+from .enumeration import SubsetEnumerator, competing
+
+__all__ = [
+    "TableSignature",
+    "signature_of_tree",
+    "CseManager",
+    "compatibility_groups",
+    "derive_compatibility_from_parts",
+    "join_compatible",
+    "CseDefinition",
+    "construct_cse",
+    "estimate_cse_rows",
+    "CandidateCse",
+    "CandidateIdAllocator",
+    "generate_candidates",
+    "HeuristicConfig",
+    "PruneTrace",
+    "heuristic1_keep",
+    "heuristic2_filter",
+    "heuristic4_filter",
+    "is_contained",
+    "merge_benefit",
+    "ConsumerSpec",
+    "build_consumer_specs",
+    "try_match_consumer",
+    "SubsetEnumerator",
+    "competing",
+]

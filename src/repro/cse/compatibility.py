@@ -1,0 +1,198 @@
+"""Join compatibility (paper §4.1, Definition 4.1).
+
+Two SPJ expressions over the same set of tables are *join compatible* when
+the equijoin graph built from the **intersection of their column equivalence
+classes** is connected. Join-compatible expressions can share a covering
+subexpression without resorting to Cartesian products.
+
+Because each consumer references its own table *instances*, classes are first
+mapped into a common *slot space*: slot ``(name, k)`` is the k-th occurrence
+of base table ``name`` among the expression's instances (sorted). For
+self-join-free queries — every workload in the paper — the mapping is exact;
+with self-joins it is the documented greedy positional assignment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from ..expr.expressions import ColumnRef, TableRef
+from ..expr.predicates import EquivalenceClasses
+from ..optimizer.memo import BlockInfo, Group
+
+Slot = Tuple[str, int]
+SlotColumn = Tuple[str, int, str]  # (table name, occurrence, column)
+
+
+def slot_assignment(tables: Iterable[TableRef]) -> Dict[TableRef, Slot]:
+    """Assign each table instance a (name, occurrence) slot."""
+    assignment: Dict[TableRef, Slot] = {}
+    counters: Dict[str, int] = {}
+    for table in sorted(tables):
+        name = table.signature_name
+        occurrence = counters.get(name, 0)
+        counters[name] = occurrence + 1
+        assignment[table] = (name, occurrence)
+    return assignment
+
+
+def slot_classes(
+    tables: FrozenSet[TableRef], classes: List[FrozenSet[ColumnRef]]
+) -> EquivalenceClasses:
+    """Map instance-level equivalence classes into slot space."""
+    assignment = slot_assignment(tables)
+    result = EquivalenceClasses()
+    for cls in classes:
+        members = sorted(cls, key=repr)
+        mapped = [
+            (assignment[m.table_ref][0], assignment[m.table_ref][1], m.column)
+            for m in members
+            if m.table_ref in assignment
+        ]
+        if len(mapped) < 2:
+            continue
+        first = mapped[0]
+        result.add(first)
+        for member in mapped[1:]:
+            result.add_equality(first, member)
+    return result
+
+
+def consumer_slot_classes(group: Group, info: BlockInfo) -> EquivalenceClasses:
+    """The slot-space equivalence classes of a consumer group's underlying
+    SPJ expression (its block's classes restricted to the group's tables)."""
+    return slot_classes(group.tables, info.classes_within(group.tables))
+
+
+def _graph_connected(slots: Set[Slot], classes: EquivalenceClasses) -> bool:
+    """Connectivity of the equijoin graph over ``slots`` whose edges come
+    from ``classes`` (an edge wherever a class holds columns of two slots)."""
+    if len(slots) <= 1:
+        return True
+    edges: Set[FrozenSet[Slot]] = set()
+    for cls in classes.classes():
+        touched = sorted({(m[0], m[1]) for m in cls})
+        for i, a in enumerate(touched):
+            for b in touched[i + 1:]:
+                edges.add(frozenset((a, b)))
+    start = next(iter(slots))
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        current = frontier.pop()
+        for edge in edges:
+            if current in edge:
+                other = next(iter(edge - {current}))
+                if other in slots and other not in seen:
+                    seen.add(other)
+                    frontier.append(other)
+    return seen == slots
+
+
+def join_compatible_classes(
+    class_sets: Sequence[EquivalenceClasses], slots: Set[Slot]
+) -> Tuple[bool, EquivalenceClasses]:
+    """Intersect slot-space class sets and test equijoin-graph connectivity.
+
+    Returns ``(compatible, intersection)``.
+    """
+    if not class_sets:
+        return True, EquivalenceClasses()
+    intersection = class_sets[0]
+    for other in class_sets[1:]:
+        intersection = intersection.intersect(other)
+    return _graph_connected(slots, intersection), intersection
+
+
+def join_compatible(
+    group_a: Group,
+    group_b: Group,
+    info_a: BlockInfo,
+    info_b: BlockInfo,
+) -> bool:
+    """Definition 4.1 for two consumer groups (same table signature)."""
+    slots = set(slot_assignment(group_a.tables).values())
+    slots_b = set(slot_assignment(group_b.tables).values())
+    if slots != slots_b:
+        return False
+    classes_a = consumer_slot_classes(group_a, info_a)
+    classes_b = consumer_slot_classes(group_b, info_b)
+    compatible, _ = join_compatible_classes([classes_a, classes_b], slots)
+    return compatible
+
+
+def derive_compatibility_from_parts(
+    part_results: Sequence[Tuple[Set[Slot], bool]], all_slots: Set[Slot]
+) -> bool:
+    """The subexpression shortcut of Example 3: if join compatibility is
+    already known for overlapping sub-slot-sets, the union of their (connected)
+    equijoin graphs covering all slots proves compatibility of the whole.
+
+    ``part_results`` holds ``(slots of the part, compatible?)`` pairs. Returns
+    True when the compatible parts connect all slots; False means *unknown*
+    (fall back to the basic method), matching the paper's fallback rule.
+    """
+    compatible_parts = [slots for slots, ok in part_results if ok]
+    covered: Set[Slot] = set()
+    for slots in compatible_parts:
+        covered |= slots
+    if covered != all_slots:
+        return False
+    # Union the parts as hyper-edges; check connectivity of the union graph.
+    remaining = [set(slots) for slots in compatible_parts]
+    if not remaining:
+        return False
+    component = remaining.pop(0)
+    changed = True
+    while changed:
+        changed = False
+        for part in list(remaining):
+            if part & component:
+                component |= part
+                remaining.remove(part)
+                changed = True
+    return component == all_slots
+
+
+def compatibility_groups(
+    groups: Sequence[Group], infos: Dict[str, BlockInfo]
+) -> List[List[Group]]:
+    """Partition one signature bucket into join-compatible sets (§4.2).
+
+    Members of a set are mutually join compatible and reference pairwise
+    disjoint table instances (so they can all appear in one final plan).
+    Greedy clique cover, deterministic by group id.
+    """
+    clusters: List[List[Group]] = []
+    for group in sorted(groups, key=lambda g: g.gid):
+        info = infos[group.block.name] if group.block is not None else None
+        placed = False
+        for cluster in clusters:
+            ok = True
+            for member in cluster:
+                if member.tables & group.tables:
+                    ok = False
+                    break
+                if (
+                    member.kind == "agg"
+                    and group.kind == "agg"
+                    and member.block is group.block
+                ):
+                    # Two pre-aggregations of the same block can never appear
+                    # in one plan (the memo joins at most one pre-aggregated
+                    # input), so they cannot share a spool.
+                    ok = False
+                    break
+                member_info = infos[member.block.name]
+                if info is None or not join_compatible(
+                    member, group, member_info, info
+                ):
+                    ok = False
+                    break
+            if ok:
+                cluster.append(group)
+                placed = True
+                break
+        if not placed:
+            clusters.append([group])
+    return [c for c in clusters if len(c) >= 2]

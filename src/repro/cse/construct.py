@@ -1,0 +1,435 @@
+"""Covering-subexpression construction (paper §4.2).
+
+Given a set of join-compatible consumer groups sharing one table signature,
+a covering subexpression is built with the paper's six steps:
+
+1. an N-ary join with equijoin predicates from the **intersection** of the
+   consumers' equivalence classes;
+2. each consumer's selection predicate *simplified* by deleting conjuncts
+   already implied by the common join predicate;
+3. a *covering predicate* from the OR of the simplified predicates;
+4. if the consumers aggregate, a group-by whose keys are the union of all
+   consumers' grouping columns plus every column the consumers' residual
+   predicates reference, with the union of their aggregate expressions;
+5. a projection with every column/aggregate any consumer requires;
+6. a spool on top (the work table the executor materializes).
+
+**Covering-predicate simplification.** A covering predicate only needs to be
+*implied by* each consumer's predicate (it may admit extra rows — consumers
+re-filter with their residuals). We therefore weaken the OR of step 3 into a
+conjunction of (a) conjuncts common to all consumers and (b) per-column range
+hulls. For the paper's Example 1 batch this reproduces E5's predicate
+verbatim: the shared ``o_orderdate < '1996-07-01'`` is factored out and the
+three ``c_nationkey`` ranges merge into ``c_nationkey > 0 and
+c_nationkey < 25``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..errors import OptimizerError
+from ..expr.expressions import (
+    AggExpr,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Expr,
+    Literal,
+    TableRef,
+)
+from ..expr.predicates import (
+    EquivalenceClasses,
+    implied_by_equalities,
+)
+from ..logical.blocks import OutputColumn, QueryBlock
+from ..optimizer.cardinality import CardinalityEstimator, cardenas
+from ..optimizer.memo import BlockInfo, Group
+from .compatibility import join_compatible_classes, slot_assignment, slot_classes
+from .signature import TableSignature
+
+
+@dataclass
+class CseDefinition:
+    """A constructed covering subexpression (before body optimization)."""
+
+    cse_id: str
+    signature: TableSignature
+    block: QueryBlock
+    outputs: Tuple[OutputColumn, ...]
+    #: The groups this CSE was constructed to cover (its potential consumers).
+    consumer_groups: List[Group]
+    #: Equality conjuncts of the intersected equivalence classes (step 1).
+    joint_equalities: Tuple[Expr, ...]
+    joint_classes: EquivalenceClasses
+    #: Conjuncts of the (weakened) covering predicate (step 3), body space.
+    covering_conjuncts: Tuple[Expr, ...]
+    #: consumer index -> its table map (consumer instance -> body instance).
+    table_maps: List[Dict[TableRef, TableRef]] = field(default_factory=list)
+    est_rows: float = 0.0
+    row_width: int = 0
+
+    @property
+    def consumer_gids(self) -> Tuple[int, ...]:
+        """Memo group ids of the covered consumers."""
+        return tuple(g.gid for g in self.consumer_groups)
+
+    @property
+    def has_groupby(self) -> bool:
+        """Whether the CSE aggregates (signature G flag)."""
+        return self.signature.has_groupby
+
+    @property
+    def est_bytes(self) -> float:
+        """Estimated result size in bytes."""
+        return self.est_rows * max(self.row_width, 1)
+
+    @property
+    def group_keys(self) -> Tuple[ColumnRef, ...]:
+        """The covering group-by keys (step 4)."""
+        return self.block.group_keys
+
+    @property
+    def aggregates(self) -> Tuple[AggExpr, ...]:
+        """The covering aggregate expressions (step 4)."""
+        return self.block.aggregates
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CSE({self.cse_id} {self.signature!r} consumers={self.consumer_gids})"
+
+
+def remap_expr(expr: Expr, table_map: Dict[TableRef, TableRef]) -> Expr:
+    """Rewrite every column reference per ``table_map``."""
+    mapping: Dict[Expr, Expr] = {}
+    for col in expr.columns():
+        target = table_map.get(col.table_ref)
+        if target is not None:
+            mapping[col] = ColumnRef(target, col.column, col.data_type)
+    return expr.substitute(mapping)
+
+
+def consumer_conjuncts(group: Group, info: BlockInfo) -> List[Expr]:
+    """The consumer's full predicate over its tables: equality conjuncts
+    regenerated from its equivalence classes plus every applicable
+    non-equality conjunct (the normalized SPJ form of §4.1)."""
+    classes = EquivalenceClasses()
+    for cls in info.classes_within(group.tables):
+        members = sorted(cls, key=repr)
+        for member in members[1:]:
+            classes.add_equality(members[0], member)
+    conjuncts: List[Expr] = list(classes.equality_conjuncts())
+    conjuncts.extend(info.noneq_within(group.tables))
+    return conjuncts
+
+
+def consumer_table_map(
+    group: Group, body_by_slot: Dict[Tuple[str, int], TableRef]
+) -> Dict[TableRef, TableRef]:
+    """Map a consumer's table instances onto the CSE body's instances via
+    the shared slot assignment."""
+    assignment = slot_assignment(group.tables)
+    return {tref: body_by_slot[slot] for tref, slot in assignment.items()}
+
+
+# ---------------------------------------------------------------------------
+# Covering-predicate weakening
+# ---------------------------------------------------------------------------
+
+
+def _range_bounds(
+    conjuncts: Sequence[Expr],
+) -> Dict[ColumnRef, Tuple[Optional[float], bool, Optional[float], bool]]:
+    """Per-column (low, low_inclusive, high, high_inclusive) implied by
+    ``conjuncts``; only numeric/date literals participate."""
+    bounds: Dict[ColumnRef, Tuple[Optional[float], bool, Optional[float], bool]] = {}
+    for conjunct in conjuncts:
+        if not isinstance(conjunct, Comparison):
+            continue
+        normalized = conjunct.normalized()
+        if not (
+            isinstance(normalized.left, ColumnRef)
+            and isinstance(normalized.right, Literal)
+        ):
+            continue
+        value = normalized.right.value
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        column = normalized.left
+        low, low_inc, high, high_inc = bounds.get(
+            column, (None, True, None, True)
+        )
+        op = normalized.op
+        if op in (ComparisonOp.GT, ComparisonOp.GE):
+            inclusive = op is ComparisonOp.GE
+            if low is None or value > low or (value == low and not inclusive):
+                low, low_inc = float(value), inclusive
+        elif op in (ComparisonOp.LT, ComparisonOp.LE):
+            inclusive = op is ComparisonOp.LE
+            if high is None or value < high or (value == high and not inclusive):
+                high, high_inc = float(value), inclusive
+        elif op is ComparisonOp.EQ:
+            if low is None or value > low:
+                low, low_inc = float(value), True
+            if high is None or value < high:
+                high, high_inc = float(value), True
+        bounds[column] = (low, low_inc, high, high_inc)
+    return bounds
+
+
+def weakened_covering(
+    residual_sets: Sequence[Sequence[Expr]],
+) -> Tuple[List[Expr], List[List[Expr]]]:
+    """Weaken ``OR(AND(residual_i))`` into a list of covering conjuncts.
+
+    Returns ``(covering_conjuncts, residuals)`` where ``residuals[i]`` is
+    consumer i's compensation predicate (its conjuncts minus those common to
+    every consumer). Soundness: each consumer's predicate implies the
+    covering conjuncts, so the CSE contains every row any consumer needs.
+    """
+    if not residual_sets:
+        return [], []
+    # (a) conjuncts present in every consumer's simplified predicate.
+    commons: List[Expr] = []
+    first = residual_sets[0]
+    for conjunct in first:
+        if all(conjunct in other for other in residual_sets[1:]):
+            if conjunct not in commons:
+                commons.append(conjunct)
+    residuals = [
+        [c for c in conjuncts if c not in commons] for conjuncts in residual_sets
+    ]
+    covering: List[Expr] = list(commons)
+    # (b) per-column range hulls across the remaining disjuncts.
+    if all(residuals):
+        per_consumer_bounds = [_range_bounds(r) for r in residuals]
+        shared_columns = set(per_consumer_bounds[0])
+        for bounds in per_consumer_bounds[1:]:
+            shared_columns &= set(bounds)
+        for column in sorted(shared_columns, key=repr):
+            lows = [b[column][0] for b in per_consumer_bounds]
+            highs = [b[column][2] for b in per_consumer_bounds]
+            if all(l is not None for l in lows):
+                hull_low = min(lows)
+                inclusive = any(
+                    b[column][1] for b in per_consumer_bounds
+                    if b[column][0] == hull_low
+                )
+                op = ComparisonOp.GE if inclusive else ComparisonOp.GT
+                covering.append(
+                    Comparison(op, column, _hull_literal(hull_low, column))
+                )
+            if all(h is not None for h in highs):
+                hull_high = max(highs)
+                inclusive = any(
+                    b[column][3] for b in per_consumer_bounds
+                    if b[column][2] == hull_high
+                )
+                op = ComparisonOp.LE if inclusive else ComparisonOp.LT
+                covering.append(
+                    Comparison(op, column, _hull_literal(hull_high, column))
+                )
+    return covering, residuals
+
+
+def _hull_literal(value: float, column: ColumnRef) -> Literal:
+    from ..types import DataType
+
+    if column.data_type in (DataType.INT, DataType.DATE):
+        if float(value).is_integer():
+            return Literal(int(value), column.data_type)
+    return Literal(float(value), DataType.FLOAT)
+
+
+# ---------------------------------------------------------------------------
+# Construction
+# ---------------------------------------------------------------------------
+
+
+def construct_cse(
+    cse_id: str,
+    consumers: Sequence[Group],
+    infos: Dict[str, BlockInfo],
+    instance_allocator: Callable[[], int],
+    estimator: Optional[CardinalityEstimator] = None,
+) -> CseDefinition:
+    """Build a CSE covering ``consumers`` (paper §4.2 steps 1-6)."""
+    if not consumers:
+        raise OptimizerError("cannot construct a CSE with no consumers")
+    signature = consumers[0].signature
+    if signature is None:
+        raise OptimizerError("consumer group has no table signature")
+    for group in consumers[1:]:
+        if group.signature != signature:
+            raise OptimizerError(f"consumers of {cse_id} have mismatched signatures")
+
+    # Fresh body instances, one per slot of the shared signature.
+    sample_assignment = slot_assignment(consumers[0].tables)
+    sample_by_slot = {slot: tref for tref, slot in sample_assignment.items()}
+    slot_order = sorted(sample_by_slot)
+    body_by_slot: Dict[Tuple[str, int], TableRef] = {}
+    for slot in slot_order:
+        sample = sample_by_slot[slot]
+        body_by_slot[slot] = TableRef(
+            table=sample.table,
+            instance=instance_allocator(),
+            alias=f"{cse_id}_{slot[0]}{slot[1]}",
+            is_delta=sample.is_delta,
+            storage_name=sample.storage_name,
+        )
+
+    table_maps: List[Dict[TableRef, TableRef]] = [
+        consumer_table_map(group, body_by_slot) for group in consumers
+    ]
+
+    # Verify join compatibility (Def 4.1) before constructing anything.
+    compatible, _ = join_compatible_classes(
+        [
+            slot_classes(
+                group.tables, infos[group.block.name].classes_within(group.tables)
+            )
+            for group in consumers
+        ],
+        set(slot_order),
+    )
+    if not compatible:
+        raise OptimizerError(f"consumers of {cse_id} are not join compatible")
+
+    # Step 1: intersect equivalence classes in body column space.
+    per_consumer_conjuncts: List[List[Expr]] = []
+    per_consumer_classes: List[EquivalenceClasses] = []
+    for group, table_map in zip(consumers, table_maps):
+        info = infos[group.block.name]
+        mapped = [
+            remap_expr(c, table_map) for c in consumer_conjuncts(group, info)
+        ]
+        per_consumer_conjuncts.append(mapped)
+        per_consumer_classes.append(EquivalenceClasses.from_conjuncts(mapped))
+    joint = per_consumer_classes[0]
+    for other in per_consumer_classes[1:]:
+        joint = joint.intersect(other)
+    join_conjuncts = joint.equality_conjuncts()
+
+    # Step 2: simplify each consumer's predicate against the joint classes.
+    simplified: List[List[Expr]] = [
+        [c for c in conjuncts if not implied_by_equalities(c, joint)]
+        for conjuncts in per_consumer_conjuncts
+    ]
+
+    # Step 3: the (weakened) covering predicate.
+    covering_conjuncts, residuals = weakened_covering(simplified)
+
+    body_conjuncts: List[Expr] = list(join_conjuncts) + list(covering_conjuncts)
+
+    # Columns the per-consumer residuals reference — needed in the output (and
+    # in the grouping keys for aggregated CSEs) so compensation can run.
+    residual_columns: Set[ColumnRef] = set()
+    for residual in residuals:
+        for conjunct in residual:
+            residual_columns.update(conjunct.columns())
+
+    outputs: List[OutputColumn] = []
+    group_keys: Tuple[ColumnRef, ...] = ()
+    aggregates: Tuple[AggExpr, ...] = ()
+
+    if signature.has_groupby:
+        # Step 4: keys = union of consumer keys + residual columns.
+        keys: Set[ColumnRef] = set(residual_columns)
+        aggs: List[AggExpr] = []
+        for group, table_map in zip(consumers, table_maps):
+            for key in group.agg_keys:
+                mapped_key = remap_expr(key, table_map)
+                assert isinstance(mapped_key, ColumnRef)
+                keys.add(mapped_key)
+            for out in group.agg_outs:
+                if not isinstance(out, AggExpr):
+                    raise OptimizerError(
+                        f"consumer aggregate output {out!r} is not an aggregate"
+                    )
+                mapped_out = remap_expr(out, table_map)
+                assert isinstance(mapped_out, AggExpr)
+                if mapped_out not in aggs:
+                    aggs.append(mapped_out)
+        group_keys = tuple(sorted(keys, key=repr))
+        aggregates = tuple(aggs)
+        # Step 5: outputs = keys + aggregates.
+        for i, key in enumerate(group_keys):
+            outputs.append(OutputColumn(name=f"k{i}", expr=key))
+        for i, agg in enumerate(aggregates):
+            outputs.append(OutputColumn(name=f"a{i}", expr=agg))
+    else:
+        # Step 5 (SPJ case): union of columns any consumer requires.
+        needed: Set[ColumnRef] = set(residual_columns)
+        for group, table_map in zip(consumers, table_maps):
+            for expr in group.required_outputs:
+                mapped = remap_expr(expr, table_map)
+                needed.update(mapped.columns())
+        for i, col in enumerate(sorted(needed, key=repr)):
+            outputs.append(OutputColumn(name=f"c{i}", expr=col))
+
+    block = QueryBlock(
+        name=f"__cse_{cse_id}",
+        tables=tuple(body_by_slot[slot] for slot in slot_order),
+        conjuncts=tuple(body_conjuncts),
+        output=tuple(outputs),
+        group_keys=group_keys,
+        aggregates=aggregates,
+    )
+
+    definition = CseDefinition(
+        cse_id=cse_id,
+        signature=signature,
+        block=block,
+        outputs=tuple(outputs),
+        consumer_groups=list(consumers),
+        joint_equalities=tuple(join_conjuncts),
+        joint_classes=joint,
+        covering_conjuncts=tuple(covering_conjuncts),
+        table_maps=table_maps,
+    )
+    if estimator is not None:
+        definition.est_rows = estimate_cse_rows(definition, estimator)
+        definition.row_width = estimator.width_of(
+            [o.expr for o in definition.outputs]
+        )
+    return definition
+
+
+def estimate_cse_rows(
+    definition: CseDefinition, estimator: CardinalityEstimator
+) -> float:
+    """Estimate the CSE result cardinality without optimizing its body:
+    base rows × class factors × covering selectivity, then Cardenas over the
+    grouping keys for aggregated CSEs."""
+    block = definition.block
+    info = BlockInfo(block)
+    rows = 1.0
+    item_rows: Dict[object, float] = {}
+    for table in block.tables:
+        base = estimator.table_rows(table)
+        for conjunct in info.local_conjuncts(table):
+            base *= estimator.selectivity(conjunct)
+        item_rows[table] = max(base, 1.0)
+        rows *= item_rows[table]
+    for cls in info.classes_within(block.table_set):
+        rows *= estimator.class_factor_for_join(
+            cls, item_rows, frozenset(block.tables)
+        )
+    for conjunct in info.noneq:
+        if len(conjunct.tables()) >= 2:
+            rows *= estimator.selectivity(conjunct)
+    rows = max(rows, 1.0)
+    if not definition.has_groupby:
+        return rows
+    domain = 1.0
+    representatives = []
+    for key in sorted(definition.block.group_keys, key=repr):
+        if any(
+            definition.joint_classes.same_class(key, kept)
+            or info.classes.same_class(key, kept)
+            for kept in representatives
+        ):
+            continue
+        representatives.append(key)
+        domain *= max(min(estimator.column_ndv(key), rows), 1.0)
+    return cardenas(domain, rows)

@@ -1,0 +1,155 @@
+"""Candidate-set enumeration for multiple CSEs (paper §5.3).
+
+With several candidates, optimizing once with all of them enabled can
+prematurely prune plans (Example 11), so the optimizer re-runs with different
+enabled subsets. Naively that is ``2^N − 1`` optimizations; the paper's
+Propositions 5.4–5.6 prune the space using the *competing / independent*
+relation over the candidates' least-common-ancestor groups (Definition 5.2):
+
+* **Prop 5.4 / 5.5** — after optimizing with set ``S`` whose members ``T``
+  are each independent of everything else in ``S``, skip every subset that
+  differs from ``S`` only by dropping part of ``T``.
+* **Prop 5.6** — if the returned plan used exactly ``S*``, that same plan is
+  optimal for ``S*`` too: skip ``S*`` and re-apply Prop 5.5 as if ``S*`` had
+  been optimized.
+
+The :class:`SubsetEnumerator` yields subsets in descending size and consumes
+result reports to prune what remains.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, List, Optional, Sequence, Set
+
+from ..optimizer.memo import Group, Memo
+from .candidates import CandidateCse
+
+
+def competing(first: CandidateCse, second: CandidateCse, memo: Memo) -> bool:
+    """Definition 5.2: two candidates compete when one's LCA group is an
+    ancestor (or descendant, or the same group) of the other's."""
+    lca_a = first.lca_gid
+    lca_b = second.lca_gid
+    if lca_a == lca_b:
+        return True
+    group_a = memo.groups[lca_a]
+    group_b = memo.groups[lca_b]
+    return lca_b in memo.descendants(group_a) or lca_a in memo.descendants(group_b)
+
+
+class SubsetEnumerator:
+    """Yields candidate subsets per §5.3's overall procedure.
+
+    Subsets are generated lazily in descending size (2^N of them in the
+    worst case, so they are never materialized); pruning is recorded as
+    exclusion predicates — interval rules ``used ⊆ S ⊆ optimized`` and
+    Prop-5.5 records — checked as each subset is generated. ``max_optimizations``
+    bounds the number of subsets ever issued.
+    """
+
+    def __init__(
+        self,
+        candidates: Sequence[CandidateCse],
+        memo: Memo,
+        max_optimizations: int = 128,
+    ) -> None:
+        self.candidates = list(candidates)
+        self.memo = memo
+        self.max_optimizations = max_optimizations
+        ids = sorted(c.cse_id for c in self.candidates)
+        self._by_id = {c.cse_id: c for c in self.candidates}
+        if len(ids) <= 16:
+            self._generator = (
+                frozenset(combo)
+                for size in range(len(ids), 0, -1)
+                for combo in itertools.combinations(ids, size)
+            )
+        else:
+            # Past ~16 candidates the subset lattice is hopeless even to
+            # skip through lazily. The usage-profile search already finds
+            # the global optimum with everything enabled (DESIGN.md), so the
+            # curated sequence — the full set, then leave-one-out sets, then
+            # singletons — serves only the ablation studies.
+            full = frozenset(ids)
+            curated: List[FrozenSet[str]] = [full]
+            curated.extend(full - {cid} for cid in ids)
+            curated.extend(frozenset([cid]) for cid in ids)
+            self._generator = iter(curated)
+        #: interval exclusions: skip S with lo ⊆ S ⊆ hi.
+        self._intervals: List[tuple] = []
+        #: Prop 5.5 records: (optimized, independent T, rest R).
+        self._prop55: List[tuple] = []
+        self._issued = 0
+
+    def _excluded(self, subset: FrozenSet[str]) -> bool:
+        for lo, hi in self._intervals:
+            if lo <= subset <= hi:
+                return True
+        for optimized, independent, rest in self._prop55:
+            if (
+                subset < optimized
+                and rest <= subset
+                and subset & independent < independent
+            ):
+                return True
+        return False
+
+    # -- the competing/independent relation ---------------------------------
+
+    def _independent_part(self, subset: FrozenSet[str]) -> FrozenSet[str]:
+        """Members of ``subset`` independent of every other member (the set
+        ``T`` of Prop 5.5)."""
+        independent: Set[str] = set()
+        for cid in subset:
+            candidate = self._by_id[cid]
+            if all(
+                other == cid
+                or not competing(candidate, self._by_id[other], self.memo)
+                for other in subset
+            ):
+                independent.add(cid)
+        return frozenset(independent)
+
+    # -- enumeration protocol -------------------------------------------------
+
+    def next_subset(self) -> Optional[FrozenSet[str]]:
+        """The next subset to optimize with, or None when done."""
+        if self._issued >= self.max_optimizations:
+            return None
+        for subset in self._generator:
+            if self._excluded(subset):
+                continue
+            self._issued += 1
+            return subset
+        return None
+
+    def report(self, optimized: FrozenSet[str], used: FrozenSet[str]) -> None:
+        """Record that optimizing with ``optimized`` enabled returned a plan
+        using exactly ``used``; prunes remaining subsets per Props 5.4-5.6.
+
+        Beyond the propositions as stated, the *interval rule* applies: the
+        plan found under ``optimized`` uses only ``used``, so the same plan
+        remains available — and therefore optimal — under every ``S_i`` with
+        ``used ⊆ S_i ⊆ optimized``."""
+        used = used & optimized
+        self._intervals.append((used, optimized))
+        self._apply_prop_55(optimized)
+        if used != optimized:
+            # Prop 5.6: the plan is optimal for `used` as well.
+            self._apply_prop_55(used)
+
+    def _apply_prop_55(self, optimized: FrozenSet[str]) -> None:
+        """Prop 5.5 (and 5.4 when R = ∅): after optimizing ``S = T ∪ R`` with
+        every member of T independent of everything else in S, the subsets
+        that differ from S only by dropping part of T are redundant."""
+        independent = self._independent_part(optimized)
+        if not independent:
+            return
+        rest = optimized - independent
+        self._prop55.append((optimized, independent, rest))
+
+    @property
+    def issued(self) -> int:
+        """How many subsets have been handed out."""
+        return self._issued

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro query-processing library.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class. Subclasses map to the major subsystems: catalog, SQL frontend,
+binding, optimization, and execution.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class CatalogError(ReproError):
+    """A schema object is missing, duplicated, or malformed."""
+
+
+class StorageError(ReproError):
+    """A storage-layer invariant was violated (bad column data, key errors)."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL frontend errors."""
+
+
+class LexerError(SqlError):
+    """The SQL text contains a character sequence that cannot be tokenized."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class ParseError(SqlError):
+    """The token stream does not form a valid statement of the SQL subset."""
+
+
+class BindError(SqlError):
+    """Name resolution or type checking of a parsed statement failed."""
+
+
+class OptimizerError(ReproError):
+    """The optimizer reached an inconsistent state or an unsupported shape."""
+
+
+class ExecutionError(ReproError):
+    """A physical plan could not be evaluated."""
+
+
+class UnsupportedFeatureError(ReproError):
+    """A SQL or algebra feature outside the implemented subset was requested."""

@@ -1,0 +1,12 @@
+"""Vectorized execution of physical plan bundles."""
+
+from .runtime import ExecutionContext, ExecutionMetrics
+from .executor import BatchResult, Executor, QueryResult
+
+__all__ = [
+    "ExecutionContext",
+    "ExecutionMetrics",
+    "Executor",
+    "BatchResult",
+    "QueryResult",
+]

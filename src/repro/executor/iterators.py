@@ -1,0 +1,361 @@
+"""Vectorized physical-operator implementations.
+
+Each operator consumes/produces a *frame*: a mapping from expression keys to
+numpy column arrays of equal length. Joins are hash joins (dictionary build
+on the left input), aggregation is hash aggregation over key tuples, spools
+materialize frames into work tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..expr.evaluator import Frame, evaluate, evaluate_predicate, frame_length
+from ..expr.expressions import AggExpr, AggFunc, ColumnRef, Expr
+from ..optimizer.aggs import AggCompute
+from ..optimizer.physical import (
+    PhysFilter,
+    PhysHashAgg,
+    PhysHashJoin,
+    PhysIndexScan,
+    PhysProject,
+    PhysScan,
+    PhysSort,
+    PhysSpoolDef,
+    PhysSpoolRead,
+    PhysicalPlan,
+)
+from ..storage.worktable import WorkTable
+from ..types import DataType
+from .runtime import ExecutionContext
+
+
+def execute_node(plan: PhysicalPlan, ctx: ExecutionContext) -> Frame:
+    """Evaluate a plan node to a frame."""
+    ctx.metrics.operator_invocations += 1
+    if isinstance(plan, PhysScan):
+        return _scan(plan, ctx)
+    if isinstance(plan, PhysIndexScan):
+        return _index_scan(plan, ctx)
+    if isinstance(plan, PhysHashJoin):
+        return _hash_join(plan, ctx)
+    if isinstance(plan, PhysHashAgg):
+        return _hash_agg(plan, ctx)
+    if isinstance(plan, PhysFilter):
+        return _filter(plan, ctx)
+    if isinstance(plan, PhysSpoolRead):
+        return _spool_read(plan, ctx)
+    if isinstance(plan, PhysSpoolDef):
+        return _spool_def(plan, ctx)
+    if isinstance(plan, PhysProject):
+        # Interior projection: keep the child frame restricted to the
+        # expressions the projection computes (keyed by expression).
+        frame = execute_node(plan.child, ctx)
+        return {out.expr: evaluate(out.expr, frame) for out in plan.outputs}
+    if isinstance(plan, PhysSort):
+        frame = execute_node(plan.child, ctx)
+        order = _sort_order(plan, frame, ctx)
+        return {key: col[order] for key, col in frame.items()}
+    raise ExecutionError(f"cannot execute plan node {type(plan).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Leaves
+# ---------------------------------------------------------------------------
+
+
+def _scan_frame(
+    plan_outputs: Tuple[Expr, ...],
+    conjuncts: Tuple[Expr, ...],
+    table_columns,
+) -> Frame:
+    needed: Dict[Expr, np.ndarray] = {}
+    wanted = set(plan_outputs)
+    for conjunct in conjuncts:
+        wanted.update(conjunct.columns())
+    for expr in wanted:
+        if not isinstance(expr, ColumnRef):
+            raise ExecutionError(f"scan cannot produce {expr!r}")
+        needed[expr] = table_columns(expr.column)
+    return needed
+
+
+def _scan(plan: PhysScan, ctx: ExecutionContext) -> Frame:
+    table = ctx.database.table(plan.table_ref.physical_name)
+    frame = _scan_frame(plan.outputs, plan.conjuncts, table.column)
+    rows = table.row_count
+    ctx.metrics.rows_scanned += rows
+    width = table.row_width()
+    ctx.metrics.cost_units += ctx.cost_model.scan(rows, width, len(plan.conjuncts))
+    if plan.conjuncts:
+        mask = np.ones(rows, dtype=bool)
+        for conjunct in plan.conjuncts:
+            mask &= evaluate_predicate(conjunct, frame)
+        frame = {k: v[mask] for k, v in frame.items()}
+    return _restrict(frame, plan.outputs)
+
+
+def _index_scan(plan: PhysIndexScan, ctx: ExecutionContext) -> Frame:
+    index = ctx.database.index_for(
+        plan.table_ref.physical_name, plan.column.column
+    )
+    if index is None:
+        raise ExecutionError(
+            f"no index on {plan.table_ref.physical_name}.{plan.column.column}"
+        )
+    positions = index.lookup_range(
+        plan.low, plan.high, plan.low_inclusive, plan.high_inclusive
+    )
+    table = ctx.database.table(plan.table_ref.physical_name)
+    frame = _scan_frame(plan.outputs, plan.residual, table.column)
+    frame = {k: v[positions] for k, v in frame.items()}
+    ctx.metrics.rows_scanned += len(positions)
+    ctx.metrics.cost_units += ctx.cost_model.index_scan(
+        len(positions), table.row_width(), len(plan.residual)
+    )
+    if plan.residual:
+        mask = np.ones(len(positions), dtype=bool)
+        for conjunct in plan.residual:
+            mask &= evaluate_predicate(conjunct, frame)
+        frame = {k: v[mask] for k, v in frame.items()}
+    return _restrict(frame, plan.outputs)
+
+
+def _restrict(frame: Frame, outputs: Tuple[Expr, ...]) -> Frame:
+    wanted = set(outputs)
+    restricted = {k: v for k, v in frame.items() if k in wanted}
+    for expr in outputs:
+        if expr not in restricted:
+            # Computable output (e.g. a passthrough expression).
+            restricted[expr] = evaluate(expr, frame)
+    return restricted
+
+
+# ---------------------------------------------------------------------------
+# Join
+# ---------------------------------------------------------------------------
+
+
+def _hash_join(plan: PhysHashJoin, ctx: ExecutionContext) -> Frame:
+    left = execute_node(plan.left, ctx)
+    right = execute_node(plan.right, ctx)
+    n_left = frame_length(left)
+    n_right = frame_length(right)
+    if plan.keys:
+        left_idx, right_idx = _equi_join_indices(plan.keys, left, right)
+    else:
+        left_idx = np.repeat(np.arange(n_left), n_right)
+        right_idx = np.tile(np.arange(n_right), n_left)
+    joined: Frame = {}
+    for key, col in left.items():
+        joined[key] = col[left_idx]
+    for key, col in right.items():
+        if key not in joined:
+            joined[key] = col[right_idx]
+    if plan.residual:
+        mask = np.ones(len(left_idx), dtype=bool)
+        for conjunct in plan.residual:
+            mask &= evaluate_predicate(conjunct, joined)
+        joined = {k: v[mask] for k, v in joined.items()}
+    out_rows = frame_length(joined)
+    ctx.metrics.rows_joined += out_rows
+    ctx.metrics.cost_units += ctx.cost_model.hash_join(
+        min(n_left, n_right), max(n_left, n_right), out_rows, len(plan.residual)
+    )
+    return _restrict(joined, plan.outputs)
+
+
+def _equi_join_indices(
+    keys: Tuple[Tuple[Expr, Expr], ...], left: Frame, right: Frame
+) -> Tuple[np.ndarray, np.ndarray]:
+    left_cols = [evaluate(l, left) for l, _ in keys]
+    right_cols = [evaluate(r, right) for _, r in keys]
+    table: Dict[tuple, List[int]] = {}
+    for i, key in enumerate(zip(*[c.tolist() for c in left_cols])):
+        table.setdefault(key, []).append(i)
+    left_out: List[int] = []
+    right_out: List[int] = []
+    for j, key in enumerate(zip(*[c.tolist() for c in right_cols])):
+        matches = table.get(key)
+        if matches:
+            left_out.extend(matches)
+            right_out.extend([j] * len(matches))
+    return (
+        np.asarray(left_out, dtype=np.int64),
+        np.asarray(right_out, dtype=np.int64),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+
+def _group_ids(keys: Tuple[Expr, ...], frame: Frame) -> Tuple[np.ndarray, int, Frame]:
+    """(group id per row, group count, frame of group-key columns)."""
+    n = frame_length(frame)
+    if not keys:
+        return np.zeros(n, dtype=np.int64), (1 if n else 1), {}
+    key_cols = [evaluate(k, frame) for k in keys]
+    mapping: Dict[tuple, int] = {}
+    gids = np.empty(n, dtype=np.int64)
+    for i, key in enumerate(zip(*[c.tolist() for c in key_cols])):
+        gid = mapping.get(key)
+        if gid is None:
+            gid = len(mapping)
+            mapping[key] = gid
+        gids[i] = gid
+    count = len(mapping)
+    key_frame: Frame = {}
+    ordered = sorted(mapping.items(), key=lambda kv: kv[1])
+    for pos, key_expr in enumerate(keys):
+        values = [key[pos] for key, _ in ordered]
+        key_frame[key_expr] = np.array(
+            values, dtype=key_expr.data_type.numpy_dtype
+        )
+    return gids, count, key_frame
+
+
+def _hash_agg(plan: PhysHashAgg, ctx: ExecutionContext) -> Frame:
+    frame = execute_node(plan.child, ctx)
+    n = frame_length(frame)
+    gids, count, out = _group_ids(plan.keys, frame)
+    if not plan.keys and n == 0:
+        # Scalar aggregate over an empty input: one group with zero rows.
+        count = 1
+        gids = np.empty(0, dtype=np.int64)
+    for compute in plan.computes:
+        out[compute.out] = _aggregate_column(compute, gids, count, frame, n)
+    ctx.metrics.rows_aggregated += n
+    ctx.metrics.cost_units += ctx.cost_model.aggregate(
+        n, count, len(plan.computes)
+    )
+    return out
+
+
+def _aggregate_column(
+    compute: AggCompute, gids: np.ndarray, count: int, frame: Frame, n: int
+) -> np.ndarray:
+    func = compute.func
+    if func is AggFunc.COUNT:
+        result = np.bincount(gids, minlength=count).astype(np.int64)
+        return result
+    if compute.arg is None:
+        raise ExecutionError(f"aggregate {compute!r} requires an argument")
+    values = evaluate(compute.arg, frame)
+    if func is AggFunc.SUM:
+        if n == 0:
+            return np.zeros(count, dtype=np.float64)
+        sums = np.bincount(gids, weights=values.astype(np.float64), minlength=count)
+        if compute.out.data_type is DataType.INT:
+            return sums.astype(np.int64)
+        return sums
+    if func in (AggFunc.MIN, AggFunc.MAX):
+        fill = np.inf if func is AggFunc.MIN else -np.inf
+        result = np.full(count, fill, dtype=np.float64)
+        operation = np.minimum if func is AggFunc.MIN else np.maximum
+        operation.at(result, gids, values.astype(np.float64))
+        if compute.out.data_type is DataType.INT:
+            return result.astype(np.int64)
+        return result
+    if func is AggFunc.AVG:
+        if n == 0:
+            return np.zeros(count, dtype=np.float64)
+        sums = np.bincount(gids, weights=values.astype(np.float64), minlength=count)
+        counts = np.bincount(gids, minlength=count)
+        return sums / np.maximum(counts, 1)
+    raise ExecutionError(f"unsupported aggregate function {func!r}")
+
+
+# ---------------------------------------------------------------------------
+# Filters, spools, sorting
+# ---------------------------------------------------------------------------
+
+
+def _filter(plan: PhysFilter, ctx: ExecutionContext) -> Frame:
+    frame = execute_node(plan.child, ctx)
+    n = frame_length(frame)
+    mask = np.ones(n, dtype=bool)
+    for conjunct in plan.conjuncts:
+        mask &= evaluate_predicate(conjunct, frame)
+    ctx.metrics.cost_units += ctx.cost_model.filter(n, len(plan.conjuncts))
+    return {k: v[mask] for k, v in frame.items()}
+
+
+def _spool_read(plan: PhysSpoolRead, ctx: ExecutionContext) -> Frame:
+    worktable = ctx.spool(plan.cse_id)
+    frame: Frame = {}
+    for name, expr in plan.column_map:
+        frame[expr] = worktable.column(name)
+    rows = worktable.row_count
+    ctx.metrics.spool_rows_read += rows
+    ctx.metrics.cost_units += ctx.cost_model.spool_read(
+        rows, worktable.row_width()
+    )
+    return frame
+
+
+def materialize_spool(
+    cse_id: str, body: PhysicalPlan, ctx: ExecutionContext
+) -> WorkTable:
+    """Evaluate a spool body (a named projection) into a work table."""
+    if not isinstance(body, PhysProject):
+        raise ExecutionError(
+            f"spool body for {cse_id!r} must end in a projection"
+        )
+    frame = execute_node(body.child, ctx)
+    names: List[str] = []
+    types: List[DataType] = []
+    columns: Dict[str, np.ndarray] = {}
+    for out in body.outputs:
+        values = evaluate(out.expr, frame)
+        names.append(out.name)
+        types.append(out.expr.data_type)
+        columns[out.name] = values
+    worktable = WorkTable(cse_id, names, types)
+    worktable.load(columns)
+    ctx.metrics.spool_rows_written += worktable.row_count
+    ctx.metrics.spools_materialized += 1
+    ctx.metrics.cost_units += ctx.cost_model.spool_write(
+        worktable.row_count, worktable.row_width()
+    )
+    return worktable
+
+
+def _spool_def(plan: PhysSpoolDef, ctx: ExecutionContext) -> Frame:
+    for cse_id, body in plan.spools:
+        if cse_id not in ctx.spools:
+            ctx.spools[cse_id] = materialize_spool(cse_id, body, ctx)
+    return execute_node(plan.child, ctx)
+
+
+def _sort_order(plan: PhysSort, frame: Frame, ctx: ExecutionContext) -> np.ndarray:
+    n = frame_length(frame)
+    ctx.metrics.cost_units += ctx.cost_model.sort(n)
+    order = np.arange(n)
+    # Stable sorts applied last-key-first give lexicographic order.
+    for expr, descending in reversed(plan.sort_items):
+        values = evaluate(expr, frame)[order]
+        inner = np.argsort(values, kind="stable")
+        if descending:
+            inner = inner[::-1]
+        order = order[inner]
+    return order
+
+
+def sort_order_for(
+    sort_items: Tuple[Tuple[Expr, bool], ...], frame: Frame
+) -> np.ndarray:
+    """Row order for ORDER BY items evaluated against ``frame``."""
+    n = frame_length(frame)
+    order = np.arange(n)
+    for expr, descending in reversed(sort_items):
+        values = evaluate(expr, frame)[order]
+        inner = np.argsort(values, kind="stable")
+        if descending:
+            inner = inner[::-1]
+        order = order[inner]
+    return order

@@ -1,0 +1,286 @@
+"""Reference (oracle) evaluator for bound queries.
+
+A deliberately simple row-at-a-time evaluator, independent of the optimizer
+and the vectorized executor: tables are joined in textual order with hash
+joins on the block's equality conjuncts, predicates are evaluated per row,
+grouping uses plain dictionaries. The integration and property tests compare
+every optimized plan's output — with and without CSEs — against this oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ExecutionError
+from ..expr.expressions import (
+    AggExpr,
+    AggFunc,
+    And,
+    Arithmetic,
+    ArithmeticOp,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Expr,
+    Literal,
+    Not,
+    Or,
+)
+from ..logical.blocks import BoundBatch, BoundQuery, QueryBlock, ScalarSubquery
+from ..storage.database import Database
+
+Row = Dict[ColumnRef, Any]
+
+
+def _eval_scalar(expr: Expr, row: Row, aggs: Optional[Dict[AggExpr, Any]] = None,
+                 scalars: Optional[Dict[str, Any]] = None) -> Any:
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, ColumnRef):
+        return row[expr]
+    if isinstance(expr, AggExpr):
+        if aggs is None or expr not in aggs:
+            raise ExecutionError(f"aggregate {expr!r} not available")
+        return aggs[expr]
+    if isinstance(expr, ScalarSubquery):
+        if scalars is None or expr.subquery_id not in scalars:
+            raise ExecutionError(f"subquery {expr.subquery_id!r} not bound")
+        return scalars[expr.subquery_id]
+    if isinstance(expr, Comparison):
+        left = _eval_scalar(expr.left, row, aggs, scalars)
+        right = _eval_scalar(expr.right, row, aggs, scalars)
+        return _compare(expr.op, left, right)
+    if isinstance(expr, And):
+        return all(_eval_scalar(t, row, aggs, scalars) for t in expr.terms)
+    if isinstance(expr, Or):
+        return any(_eval_scalar(t, row, aggs, scalars) for t in expr.terms)
+    if isinstance(expr, Not):
+        return not _eval_scalar(expr.term, row, aggs, scalars)
+    if isinstance(expr, Arithmetic):
+        left = _eval_scalar(expr.left, row, aggs, scalars)
+        right = _eval_scalar(expr.right, row, aggs, scalars)
+        if expr.op is ArithmeticOp.ADD:
+            return left + right
+        if expr.op is ArithmeticOp.SUB:
+            return left - right
+        if expr.op is ArithmeticOp.MUL:
+            return left * right
+        if expr.op is ArithmeticOp.DIV:
+            return left / right
+    raise ExecutionError(f"oracle cannot evaluate {expr!r}")
+
+
+def _compare(op: ComparisonOp, left: Any, right: Any) -> bool:
+    if op is ComparisonOp.EQ:
+        return left == right
+    if op is ComparisonOp.NE:
+        return left != right
+    if op is ComparisonOp.LT:
+        return left < right
+    if op is ComparisonOp.LE:
+        return left <= right
+    if op is ComparisonOp.GT:
+        return left > right
+    if op is ComparisonOp.GE:
+        return left >= right
+    raise ExecutionError(f"unknown comparison {op!r}")
+
+
+def _table_rows(database: Database, block: QueryBlock, table_ref) -> List[Row]:
+    table = database.table(table_ref.physical_name)
+    columns = block.columns_of(table_ref)
+    if not columns:
+        # Tables joined purely for cardinality still need a row marker.
+        return [dict() for _ in range(table.row_count)]
+    arrays = {c: table.column(c.column) for c in columns}
+    rows: List[Row] = []
+    for i in range(table.row_count):
+        rows.append({c: arr[i] for c, arr in arrays.items()})
+    return rows
+
+
+def _join_all(database: Database, block: QueryBlock) -> List[Row]:
+    """Join the block's tables in order with applicable conjuncts."""
+    pending = list(block.conjuncts)
+    current: List[Row] = [dict()]
+    joined_tables: List = []
+    remaining = list(block.tables)
+    while remaining:
+        # Prefer a table connected to the current result by an equality.
+        chosen = None
+        for table_ref in remaining:
+            if not joined_tables:
+                chosen = table_ref
+                break
+            for conjunct in pending:
+                if (
+                    isinstance(conjunct, Comparison)
+                    and conjunct.is_column_equality
+                ):
+                    tables = {c.table_ref for c in conjunct.columns()}
+                    if table_ref in tables and tables - {table_ref} <= set(
+                        joined_tables
+                    ):
+                        chosen = table_ref
+                        break
+            if chosen is not None:
+                break
+        if chosen is None:
+            chosen = remaining[0]
+        remaining.remove(chosen)
+        new_rows = _table_rows(database, block, chosen)
+        # Equality conjuncts usable as hash keys for this join step.
+        keys: List[Tuple[ColumnRef, ColumnRef]] = []
+        for conjunct in pending:
+            if isinstance(conjunct, Comparison) and conjunct.is_column_equality:
+                left, right = conjunct.left, conjunct.right
+                assert isinstance(left, ColumnRef) and isinstance(right, ColumnRef)
+                if left.table_ref == chosen and right.table_ref in joined_tables:
+                    keys.append((right, left))
+                elif right.table_ref == chosen and left.table_ref in joined_tables:
+                    keys.append((left, right))
+        if joined_tables and keys:
+            index: Dict[tuple, List[Row]] = {}
+            for row in new_rows:
+                key = tuple(row[new_col] for _, new_col in keys)
+                index.setdefault(key, []).append(row)
+            merged: List[Row] = []
+            for row in current:
+                key = tuple(row[old_col] for old_col, _ in keys)
+                for match in index.get(key, ()):  # hash join
+                    combined = dict(row)
+                    combined.update(match)
+                    merged.append(combined)
+            current = merged
+        else:
+            current = [
+                {**row, **new_row} for row in current for new_row in new_rows
+            ]
+        joined_tables.append(chosen)
+        # Apply every conjunct whose columns are now all available.
+        available = set(joined_tables)
+        applicable = [
+            c for c in pending
+            if {col.table_ref for col in c.columns()} <= available
+        ]
+        for conjunct in applicable:
+            pending.remove(conjunct)
+            if isinstance(conjunct, Comparison) and conjunct.is_column_equality:
+                # Already enforced when used as a join key; re-check anyway.
+                pass
+            current = [
+                row for row in current if _eval_scalar(conjunct, row)
+            ]
+    if pending:
+        raise ExecutionError(f"unapplied conjuncts remain: {pending!r}")
+    return current
+
+
+def _aggregate(block: QueryBlock, rows: List[Row]) -> List[Tuple[Row, Dict[AggExpr, Any]]]:
+    groups: Dict[tuple, List[Row]] = {}
+    for row in rows:
+        key = tuple(row[k] for k in block.group_keys)
+        groups.setdefault(key, []).append(row)
+    if not block.group_keys and not groups:
+        groups[()] = []
+    output: List[Tuple[Row, Dict[AggExpr, Any]]] = []
+    for key, members in groups.items():
+        key_row: Row = {
+            k: key[i] for i, k in enumerate(block.group_keys)
+        }
+        aggs: Dict[AggExpr, Any] = {}
+        for agg in block.aggregates:
+            aggs[agg] = _compute_aggregate(agg, members)
+        output.append((key_row, aggs))
+    return output
+
+
+def _compute_aggregate(agg: AggExpr, rows: List[Row]) -> Any:
+    if agg.func is AggFunc.COUNT:
+        return len(rows)
+    assert agg.arg is not None
+    values = [_eval_scalar(agg.arg, row) for row in rows]
+    if agg.func is AggFunc.SUM:
+        return sum(values) if values else 0
+    if agg.func is AggFunc.MIN:
+        return min(values) if values else None
+    if agg.func is AggFunc.MAX:
+        return max(values) if values else None
+    if agg.func is AggFunc.AVG:
+        return sum(values) / len(values) if values else None
+    raise ExecutionError(f"unsupported aggregate {agg!r}")
+
+
+def evaluate_block(
+    database: Database,
+    block: QueryBlock,
+    scalars: Optional[Dict[str, Any]] = None,
+) -> List[Tuple[Any, ...]]:
+    """Evaluate one block to output rows (before ORDER BY)."""
+    joined = _join_all(database, block)
+    if block.has_groupby:
+        grouped = _aggregate(block, joined)
+        results: List[Tuple[Any, ...]] = []
+        for key_row, aggs in grouped:
+            if block.having and not all(
+                _eval_scalar(h, key_row, aggs, scalars) for h in block.having
+            ):
+                continue
+            results.append(
+                tuple(
+                    _eval_scalar(out.expr, key_row, aggs, scalars)
+                    for out in block.output
+                )
+            )
+        return results
+    results = []
+    for row in joined:
+        if block.having and not all(
+            _eval_scalar(h, row, None, scalars) for h in block.having
+        ):
+            continue
+        results.append(
+            tuple(_eval_scalar(out.expr, row, None, scalars) for out in block.output)
+        )
+    return results
+
+
+def evaluate_query(
+    database: Database, query: BoundQuery
+) -> List[Tuple[Any, ...]]:
+    """Evaluate one bound query (subqueries first), ORDER BY applied."""
+    scalars: Dict[str, Any] = {}
+    for sid, sub_block in query.subqueries.items():
+        rows = evaluate_block(database, sub_block)
+        if len(rows) != 1 or len(rows[0]) != 1:
+            raise ExecutionError(f"subquery {sid!r} is not scalar")
+        scalars[sid] = rows[0][0]
+    rows = evaluate_block(database, query.block, scalars)
+    if query.order_by:
+        named = {out.name: i for i, out in enumerate(query.block.output)}
+
+        def sort_key(row: Tuple[Any, ...]):
+            parts = []
+            for expr, descending in query.order_by:
+                index = None
+                for i, out in enumerate(query.block.output):
+                    if out.expr == expr:
+                        index = i
+                        break
+                if index is None:
+                    raise ExecutionError(
+                        f"ORDER BY expression {expr!r} not in output"
+                    )
+                value = row[index]
+                parts.append(-value if descending else value)
+            return tuple(parts)
+
+        rows = sorted(rows, key=sort_key)
+    return rows
+
+
+def evaluate_batch(
+    database: Database, batch: BoundBatch
+) -> Dict[str, List[Tuple[Any, ...]]]:
+    """Oracle-evaluate every query of a batch."""
+    return {q.name: evaluate_query(database, q) for q in batch.queries}

@@ -1,0 +1,65 @@
+"""Execution context and metrics.
+
+The executor counts the *same* cost units the optimizer estimates (see
+:mod:`repro.optimizer.cost`), against actual row counts. That makes the
+"execution time" rows of the reproduced experiment tables deterministic and
+hardware-independent, while wall-clock time is also reported for reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..optimizer.cost import CostModel
+from ..storage.database import Database
+from ..storage.worktable import WorkTable
+
+
+@dataclass
+class ExecutionMetrics:
+    """Deterministic work counters accumulated during execution."""
+
+    cost_units: float = 0.0
+    rows_scanned: int = 0
+    rows_joined: int = 0
+    rows_aggregated: int = 0
+    rows_output: int = 0
+    spool_rows_written: int = 0
+    spool_rows_read: int = 0
+    spools_materialized: int = 0
+    operator_invocations: int = 0
+
+    def merge(self, other: "ExecutionMetrics") -> None:
+        """Accumulate another metrics object into this one."""
+        self.cost_units += other.cost_units
+        self.rows_scanned += other.rows_scanned
+        self.rows_joined += other.rows_joined
+        self.rows_aggregated += other.rows_aggregated
+        self.rows_output += other.rows_output
+        self.spool_rows_written += other.spool_rows_written
+        self.spool_rows_read += other.spool_rows_read
+        self.spools_materialized += other.spools_materialized
+        self.operator_invocations += other.operator_invocations
+
+
+@dataclass
+class ExecutionContext:
+    """Shared state for one bundle execution: the database, materialized
+    spools, and accumulated metrics."""
+
+    database: Database
+    cost_model: CostModel = field(default_factory=CostModel)
+    spools: Dict[str, WorkTable] = field(default_factory=dict)
+    metrics: ExecutionMetrics = field(default_factory=ExecutionMetrics)
+
+    def spool(self, cse_id: str) -> WorkTable:
+        """A materialized spool by id (error if missing)."""
+        try:
+            return self.spools[cse_id]
+        except KeyError:
+            from ..errors import ExecutionError
+
+            raise ExecutionError(
+                f"spool {cse_id!r} read before materialization"
+            ) from None

@@ -1,0 +1,37 @@
+"""Scalar and aggregate expressions, predicate utilities, evaluation."""
+
+from .expressions import (
+    AggExpr,
+    AggFunc,
+    And,
+    Arithmetic,
+    ColumnRef,
+    Comparison,
+    Expr,
+    Literal,
+    Not,
+    Or,
+    TableRef,
+)
+from .predicates import (
+    EquivalenceClasses,
+    conjoin,
+    split_conjuncts,
+)
+
+__all__ = [
+    "AggExpr",
+    "AggFunc",
+    "And",
+    "Arithmetic",
+    "ColumnRef",
+    "Comparison",
+    "Expr",
+    "Literal",
+    "Not",
+    "Or",
+    "TableRef",
+    "EquivalenceClasses",
+    "conjoin",
+    "split_conjuncts",
+]

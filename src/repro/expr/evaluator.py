@@ -1,0 +1,122 @@
+"""Vectorized expression evaluation over column frames.
+
+A *frame* maps :class:`ColumnRef` objects (or arbitrary expression keys, for
+computed columns like partial aggregates flowing out of a spool) to numpy
+arrays of equal length. Evaluation is fully vectorized: predicates yield
+boolean masks, arithmetic yields value arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..types import DataType
+from .expressions import (
+    AggExpr,
+    And,
+    Arithmetic,
+    ArithmeticOp,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Expr,
+    Literal,
+    Not,
+    Or,
+)
+
+Frame = Dict[Expr, np.ndarray]
+
+
+def frame_length(frame: Frame) -> int:
+    """Row count of a frame (0 when empty)."""
+    first = next(iter(frame.values()), None)
+    return 0 if first is None else len(first)
+
+
+def evaluate(expr: Expr, frame: Frame) -> np.ndarray:
+    """Evaluate ``expr`` against ``frame``, returning a column."""
+    # Computed columns (e.g. spool outputs keyed by the original aggregate
+    # expression) take precedence over structural evaluation.
+    if expr in frame:
+        return frame[expr]
+    if isinstance(expr, Literal):
+        n = frame_length(frame)
+        return np.full(n, expr.value, dtype=expr.data_type.numpy_dtype)
+    if isinstance(expr, ColumnRef):
+        raise ExecutionError(f"column {expr!r} not present in frame")
+    if isinstance(expr, Comparison):
+        return _evaluate_comparison(expr, frame)
+    if isinstance(expr, And):
+        result = evaluate(expr.terms[0], frame).astype(bool)
+        for term in expr.terms[1:]:
+            result = result & evaluate(term, frame).astype(bool)
+        return result
+    if isinstance(expr, Or):
+        result = evaluate(expr.terms[0], frame).astype(bool)
+        for term in expr.terms[1:]:
+            result = result | evaluate(term, frame).astype(bool)
+        return result
+    if isinstance(expr, Not):
+        return ~evaluate(expr.term, frame).astype(bool)
+    if isinstance(expr, Arithmetic):
+        return _evaluate_arithmetic(expr, frame)
+    if isinstance(expr, AggExpr):
+        raise ExecutionError(
+            f"aggregate {expr!r} reached the scalar evaluator; aggregates are "
+            "computed by the aggregation iterator"
+        )
+    raise ExecutionError(f"cannot evaluate expression {expr!r}")
+
+
+def _evaluate_comparison(expr: Comparison, frame: Frame) -> np.ndarray:
+    left = evaluate(expr.left, frame)
+    right = evaluate(expr.right, frame)
+    op = expr.op
+    if op is ComparisonOp.EQ:
+        return left == right
+    if op is ComparisonOp.NE:
+        return left != right
+    if op is ComparisonOp.LT:
+        return left < right
+    if op is ComparisonOp.LE:
+        return left <= right
+    if op is ComparisonOp.GT:
+        return left > right
+    if op is ComparisonOp.GE:
+        return left >= right
+    raise ExecutionError(f"unknown comparison operator {op!r}")
+
+
+def _evaluate_arithmetic(expr: Arithmetic, frame: Frame) -> np.ndarray:
+    left = evaluate(expr.left, frame)
+    right = evaluate(expr.right, frame)
+    op = expr.op
+    if op is ArithmeticOp.ADD:
+        return left + right
+    if op is ArithmeticOp.SUB:
+        return left - right
+    if op is ArithmeticOp.MUL:
+        return left * right
+    if op is ArithmeticOp.DIV:
+        divisor = right.astype(np.float64)
+        if np.any(divisor == 0):
+            raise ExecutionError("division by zero during evaluation")
+        return left / divisor
+    raise ExecutionError(f"unknown arithmetic operator {op!r}")
+
+
+def evaluate_predicate(predicate: Optional[Expr], frame: Frame) -> np.ndarray:
+    """Evaluate a (possibly absent) predicate to a boolean mask."""
+    n = frame_length(frame)
+    if predicate is None:
+        return np.ones(n, dtype=bool)
+    mask = evaluate(predicate, frame)
+    if mask.dtype != np.bool_:
+        if predicate.data_type is not DataType.BOOL:
+            raise ExecutionError(f"predicate {predicate!r} is not boolean")
+        mask = mask.astype(bool)
+    return mask

@@ -1,0 +1,28 @@
+"""Logical algebra: operator trees and normalized SPJG query blocks."""
+
+from .operators import (
+    Get,
+    GroupBy,
+    Join,
+    LogicalOperator,
+    Project,
+    Select,
+    Spool,
+)
+from .blocks import OutputColumn, QueryBlock, BoundQuery, BoundBatch
+from .normalize import normalize_tree
+
+__all__ = [
+    "Get",
+    "GroupBy",
+    "Join",
+    "LogicalOperator",
+    "Project",
+    "Select",
+    "Spool",
+    "OutputColumn",
+    "QueryBlock",
+    "BoundQuery",
+    "BoundBatch",
+    "normalize_tree",
+]

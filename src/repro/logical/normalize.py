@@ -1,0 +1,107 @@
+"""Normalization of logical operator trees into SPJG query blocks.
+
+The paper works over the normal form ``σ_p(T1 × T2 × … × Tn)`` with an
+optional group-by and projection on top (§4.1). ``normalize_tree`` converts
+any SPJG-shaped operator tree into that form by pulling all selections and
+join predicates into one conjunct list. Trees that are not SPJG-shaped (e.g.
+a join above a group-by) are rejected; the binder produces blocks for those
+directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import OptimizerError
+from ..expr.expressions import AggExpr, ColumnRef, Expr, TableRef
+from ..expr.predicates import split_conjuncts
+from .blocks import OutputColumn, QueryBlock
+from .operators import Get, GroupBy, Join, LogicalOperator, Project, Select, Spool
+
+
+def _flatten_spj(
+    node: LogicalOperator,
+) -> Tuple[List[TableRef], List[Expr]]:
+    """Flatten a Select/Join/Get subtree into (tables, conjuncts)."""
+    if isinstance(node, Get):
+        return [node.table_ref], []
+    if isinstance(node, Select):
+        tables, conjuncts = _flatten_spj(node.child)
+        conjuncts = conjuncts + split_conjuncts(node.predicate)
+        return tables, conjuncts
+    if isinstance(node, Join):
+        left_tables, left_conjuncts = _flatten_spj(node.left)
+        right_tables, right_conjuncts = _flatten_spj(node.right)
+        conjuncts = left_conjuncts + right_conjuncts
+        if node.predicate is not None:
+            conjuncts = conjuncts + split_conjuncts(node.predicate)
+        return left_tables + right_tables, conjuncts
+    if isinstance(node, Project):
+        # An interior projection discards columns; normalization keeps the
+        # full column space and relies on required-column analysis instead.
+        return _flatten_spj(node.child)
+    raise OptimizerError(
+        f"operator {type(node).__name__} is not part of an SPJ subtree"
+    )
+
+
+def normalize_tree(
+    tree: LogicalOperator, name: str = "query"
+) -> QueryBlock:
+    """Normalize an SPJG operator tree into a :class:`QueryBlock`.
+
+    Accepted shapes, outermost first: an optional :class:`Spool`, an optional
+    :class:`Project`, optional ``Select`` conjuncts above a group-by
+    (HAVING), an optional :class:`GroupBy`, then a Select/Join/Get tree.
+    """
+    node = tree
+    if isinstance(node, Spool):
+        node = node.child
+
+    output: Optional[Tuple[OutputColumn, ...]] = None
+    if isinstance(node, Project):
+        output = tuple(
+            OutputColumn(name=f"col{i}", expr=e) for i, e in enumerate(node.exprs)
+        )
+        node = node.child
+
+    having: List[Expr] = []
+    while isinstance(node, Select) and _selects_over_groupby(node):
+        having = split_conjuncts(node.predicate) + having
+        node = node.child
+
+    group_keys: Tuple[ColumnRef, ...] = ()
+    aggregates: Tuple[AggExpr, ...] = ()
+    if isinstance(node, GroupBy):
+        group_keys = node.keys
+        aggregates = node.aggregates
+        node = node.child
+
+    tables, conjuncts = _flatten_spj(node)
+
+    if output is None:
+        if group_keys or aggregates:
+            exprs: List[Expr] = list(group_keys) + list(aggregates)
+            output = tuple(
+                OutputColumn(name=f"col{i}", expr=e) for i, e in enumerate(exprs)
+            )
+        else:
+            output = ()  # "all required columns" — resolved by the consumer
+
+    return QueryBlock(
+        name=name,
+        tables=tuple(tables),
+        conjuncts=tuple(conjuncts),
+        output=output,
+        group_keys=group_keys,
+        aggregates=aggregates,
+        having=tuple(having),
+    )
+
+
+def _selects_over_groupby(node: Select) -> bool:
+    """Whether a Select sits (possibly via more Selects) above a GroupBy."""
+    child = node.child
+    while isinstance(child, Select):
+        child = child.child
+    return isinstance(child, GroupBy)

@@ -1,0 +1,129 @@
+"""Logical operator trees.
+
+These are the SPJG operators of the paper (§3): Get (table/view access),
+Select, Project, Join, GroupBy, and Spool. The binder produces operator
+trees; :mod:`repro.logical.normalize` converts them to normalized
+:class:`~repro.logical.blocks.QueryBlock` form for the optimizer; and the
+table-signature rules of Figure 2 are defined directly over these trees
+(:mod:`repro.cse.signature`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..errors import OptimizerError
+from ..expr.expressions import AggExpr, ColumnRef, Expr, TableRef
+
+
+class LogicalOperator:
+    """Base class for logical operators."""
+
+    def children(self) -> Tuple["LogicalOperator", ...]:
+        return ()
+
+    def walk(self):
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def tables(self) -> Tuple[TableRef, ...]:
+        """All table instances referenced in this subtree, in tree order."""
+        found = []
+        for node in self.walk():
+            if isinstance(node, Get):
+                found.append(node.table_ref)
+        return tuple(found)
+
+
+@dataclass(frozen=True)
+class Get(LogicalOperator):
+    """Access one table (or view/work-table) instance."""
+
+    table_ref: TableRef
+
+    def __repr__(self) -> str:
+        return f"Get({self.table_ref!r})"
+
+
+@dataclass(frozen=True)
+class Select(LogicalOperator):
+    """Filter rows by a predicate."""
+
+    predicate: Expr
+    child: LogicalOperator
+
+    def children(self) -> Tuple[LogicalOperator, ...]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"Select({self.predicate!r}, {self.child!r})"
+
+
+@dataclass(frozen=True)
+class Project(LogicalOperator):
+    """Restrict/compute output columns. ``exprs`` are the output expressions."""
+
+    exprs: Tuple[Expr, ...]
+    child: LogicalOperator
+
+    def children(self) -> Tuple[LogicalOperator, ...]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"Project({list(self.exprs)!r}, {self.child!r})"
+
+
+@dataclass(frozen=True)
+class Join(LogicalOperator):
+    """Inner join with an optional predicate (None means cross product)."""
+
+    predicate: Optional[Expr]
+    left: LogicalOperator
+    right: LogicalOperator
+
+    def children(self) -> Tuple[LogicalOperator, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"Join({self.predicate!r}, {self.left!r}, {self.right!r})"
+
+
+@dataclass(frozen=True)
+class GroupBy(LogicalOperator):
+    """Group by columns and compute aggregate expressions."""
+
+    keys: Tuple[ColumnRef, ...]
+    aggregates: Tuple[AggExpr, ...]
+    child: LogicalOperator
+
+    def __post_init__(self) -> None:
+        for key in self.keys:
+            if not isinstance(key, ColumnRef):
+                raise OptimizerError(
+                    f"GROUP BY supports plain columns only, got {key!r}"
+                )
+
+    def children(self) -> Tuple[LogicalOperator, ...]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return (
+            f"GroupBy(keys={list(self.keys)!r}, aggs={list(self.aggregates)!r}, "
+            f"{self.child!r})"
+        )
+
+
+@dataclass(frozen=True)
+class Spool(LogicalOperator):
+    """Materialize the child's result into a work table (the CSE top, §2.2)."""
+
+    child: LogicalOperator
+    label: str = ""
+
+    def children(self) -> Tuple[LogicalOperator, ...]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"Spool({self.label!r}, {self.child!r})"

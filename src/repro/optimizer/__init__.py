@@ -1,0 +1,6 @@
+"""Cascades-style cost-based optimizer: memo, cost model, physical plans."""
+
+from .options import OptimizerOptions
+from .engine import Optimizer, OptimizationResult
+
+__all__ = ["OptimizerOptions", "Optimizer", "OptimizationResult"]

@@ -1,0 +1,182 @@
+"""Aggregate decomposition for pre-aggregation and CSE re-use.
+
+Both the optimizer's eager group-by rule (the source of candidates like the
+paper's E4, "preaggregation of the join of orders and lineitem") and CSE view
+matching (re-aggregating a covering subexpression's partial aggregates to a
+consumer's coarser grouping, §5.1) need the same algebra:
+
+* split a final aggregate into a *partial* computed over a subset of tables
+  (plus a group row count when needed), and
+* a *combine* step that restores the final value after further joins.
+
+The rules (no NULLs in this engine, so COUNT(x) ≡ COUNT(*)):
+
+========== =========================== =================================
+final      partial over subset S       combine above the join
+========== =========================== =================================
+SUM(x⊆S)   SUM(x)                      SUM(partial)
+SUM(y⊄S)   COUNT(*) as cnt             SUM(y * cnt)
+COUNT(*)   COUNT(*) as cnt             SUM(cnt)
+MIN(x⊆S)   MIN(x)                      MIN(partial)
+MIN(y⊄S)   —                           MIN(y)            (duplicates ok)
+MAX        symmetric to MIN
+AVG        rewritten by the binder into SUM/COUNT before reaching here
+========== =========================== =================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from ..errors import OptimizerError
+from ..expr.expressions import (
+    AggExpr,
+    AggFunc,
+    Arithmetic,
+    ArithmeticOp,
+    Expr,
+    TableRef,
+)
+
+#: The canonical row-count aggregate used as the partial-count column.
+COUNT_STAR = AggExpr(AggFunc.COUNT, None)
+
+
+@dataclass(frozen=True)
+class AggCompute:
+    """One aggregate computation performed by a physical aggregation.
+
+    ``out`` is the expression key the result column carries in the output
+    frame; ``func`` is the function actually executed; ``arg`` is the input
+    expression (``None`` for COUNT(*)). For a plain final aggregation
+    ``out == AggExpr(func, arg)``; for combine steps ``func``/``arg`` differ
+    from ``out`` (e.g. ``out=sum(x), func=SUM, arg=<partial sum(x)>``).
+    """
+
+    out: Expr
+    func: AggFunc
+    arg: Optional[Expr]
+
+    def __repr__(self) -> str:
+        arg = "*" if self.arg is None else repr(self.arg)
+        return f"{self.out!r}:={self.func.value}({arg})"
+
+
+def direct_computes(aggs: Sequence[AggExpr]) -> Tuple[AggCompute, ...]:
+    """Computes for a one-shot (non-decomposed) aggregation."""
+    return tuple(AggCompute(out=a, func=a.func, arg=a.arg) for a in aggs)
+
+
+def _arg_side(agg: AggExpr, subset: FrozenSet[TableRef]) -> Optional[bool]:
+    """True if the aggregate's argument lies entirely inside ``subset``,
+    False if entirely outside, None if mixed (not decomposable) or COUNT(*).
+    """
+    if agg.arg is None:
+        return None
+    tables = {c.table_ref for c in agg.arg.columns()}
+    if not tables:
+        # Constant argument; computable anywhere — treat as inside.
+        return True
+    if tables <= subset:
+        return True
+    if tables & subset:
+        raise OptimizerError(
+            f"aggregate {agg!r} mixes columns inside and outside the subset"
+        )
+    return False
+
+
+def decomposable_over(aggs: Sequence[AggExpr], subset: FrozenSet[TableRef]) -> bool:
+    """Whether all aggregates can be decomposed across a pre-aggregation of
+    ``subset`` (every argument entirely inside or entirely outside)."""
+    try:
+        for agg in aggs:
+            _arg_side(agg, subset)
+    except OptimizerError:
+        return False
+    return True
+
+
+def partial_computes(
+    aggs: Sequence[AggExpr], subset: FrozenSet[TableRef]
+) -> Tuple[AggCompute, ...]:
+    """The partial aggregates a pre-aggregation of ``subset`` must compute."""
+    partials: List[AggCompute] = []
+    needs_count = False
+    for agg in aggs:
+        side = _arg_side(agg, subset)
+        if side is None:
+            # COUNT(*): final value is SUM of partial counts.
+            needs_count = True
+        elif side:
+            func = agg.func
+            partials.append(AggCompute(out=agg, func=func, arg=agg.arg))
+        else:
+            if agg.func in (AggFunc.SUM, AggFunc.COUNT):
+                needs_count = True
+            # MIN/MAX of an outside column need nothing from the subset.
+    if needs_count and not any(p.out == COUNT_STAR for p in partials):
+        partials.append(AggCompute(out=COUNT_STAR, func=AggFunc.COUNT, arg=None))
+    # Deduplicate identical aggregates (e.g. the same SUM in two consumers).
+    unique: List[AggCompute] = []
+    for partial in partials:
+        if partial not in unique:
+            unique.append(partial)
+    return tuple(unique)
+
+
+def combine_computes(
+    aggs: Sequence[AggExpr], subset: FrozenSet[TableRef]
+) -> Tuple[AggCompute, ...]:
+    """The combine-step computes for a final aggregation whose input contains
+    a pre-aggregation of ``subset``.
+
+    Input frame keys: partial aggregates are keyed by their ``out``
+    expressions (so ``sum(x)`` partial appears under key ``sum(x)``), the
+    count under :data:`COUNT_STAR`, and non-aggregated columns under their
+    column references.
+    """
+    computes: List[AggCompute] = []
+    for agg in aggs:
+        side = _arg_side(agg, subset)
+        if side is None:
+            computes.append(AggCompute(out=agg, func=AggFunc.SUM, arg=COUNT_STAR))
+        elif side:
+            if agg.func is AggFunc.SUM:
+                computes.append(AggCompute(out=agg, func=AggFunc.SUM, arg=agg))
+            elif agg.func is AggFunc.COUNT:
+                computes.append(AggCompute(out=agg, func=AggFunc.SUM, arg=agg))
+            elif agg.func in (AggFunc.MIN, AggFunc.MAX):
+                computes.append(AggCompute(out=agg, func=agg.func, arg=agg))
+            else:
+                raise OptimizerError(f"cannot combine aggregate {agg!r}")
+        else:
+            if agg.func is AggFunc.SUM:
+                assert agg.arg is not None
+                scaled = Arithmetic(ArithmeticOp.MUL, agg.arg, COUNT_STAR)
+                computes.append(AggCompute(out=agg, func=AggFunc.SUM, arg=scaled))
+            elif agg.func is AggFunc.COUNT:
+                computes.append(
+                    AggCompute(out=agg, func=AggFunc.SUM, arg=COUNT_STAR)
+                )
+            elif agg.func in (AggFunc.MIN, AggFunc.MAX):
+                computes.append(AggCompute(out=agg, func=agg.func, arg=agg.arg))
+            else:
+                raise OptimizerError(f"cannot combine aggregate {agg!r}")
+    return tuple(computes)
+
+
+def reaggregate_computes(aggs: Sequence[AggExpr]) -> Tuple[AggCompute, ...]:
+    """Computes that re-aggregate *already partial* aggregates to a coarser
+    grouping — used when a consumer reads a CSE whose group-by is finer than
+    the consumer's (§5.1 compensation)."""
+    computes: List[AggCompute] = []
+    for agg in aggs:
+        if agg.func in (AggFunc.SUM, AggFunc.COUNT):
+            computes.append(AggCompute(out=agg, func=AggFunc.SUM, arg=agg))
+        elif agg.func in (AggFunc.MIN, AggFunc.MAX):
+            computes.append(AggCompute(out=agg, func=agg.func, arg=agg))
+        else:
+            raise OptimizerError(f"cannot re-aggregate {agg!r}")
+    return tuple(computes)

@@ -1,0 +1,1129 @@
+"""The optimizer driver.
+
+Implements the three-step architecture of the paper's Figure 1 on top of the
+memo (:mod:`repro.optimizer.memo`):
+
+* **Normal optimization** — exhaustive cost-based search per group, recording
+  per-group cost bounds. Table signatures are registered with the CSE
+  manager as groups are created (Step 1).
+* **Candidate generation** (Step 2) — sharable signature buckets →
+  join-compatible sets → Algorithm 1 with Heuristics 1-4
+  (:mod:`repro.cse.candidates`).
+* **CSE optimization** (Step 3) — re-optimization with candidate subsets
+  enabled (§5.3, Propositions 5.4-5.6). Spool costing follows §5.2: each
+  consumer substitution is charged the usage cost ``C_R`` (plus
+  compensation); the *initial* cost ``C_E + C_W`` is charged once, at the
+  candidate's least-common-ancestor group, where plans with a single
+  consumer are discarded. The bookkeeping uses per-group *usage profiles*:
+  the best plan is kept per (candidate → uses ∈ {0, 1, ≥2}) vector, and the
+  candidate's dimension is collapsed at its LCA. Candidates consumed inside
+  other candidates' bodies (stacked CSEs, §5.5) settle at the batch root.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..cse.candidates import CandidateCse, CandidateIdAllocator, generate_candidates
+from ..cse.compatibility import compatibility_groups
+from ..cse.enumeration import SubsetEnumerator
+from ..cse.heuristics import PruneTrace, heuristic1_keep, heuristic4_filter
+from ..cse.manager import CseManager
+from ..cse.matching import ConsumerSpec, build_consumer_specs, try_match_consumer
+from ..errors import OptimizerError
+from ..expr.expressions import ColumnRef, Comparison, ComparisonOp, Expr, Literal
+from ..logical.blocks import BoundBatch, BoundQuery
+from ..storage.database import Database
+from .cardinality import CardinalityEstimator
+from .cost import CostModel
+from .memo import (
+    AggImplExpr,
+    Group,
+    JoinExpr,
+    Memo,
+    RootExpr,
+    ScanExpr,
+)
+from .options import OptimizerOptions
+from .physical import (
+    PhysFilter,
+    PhysHashAgg,
+    PhysHashJoin,
+    PhysIndexScan,
+    PhysProject,
+    PhysScan,
+    PhysSort,
+    PhysSpoolDef,
+    PhysSpoolRead,
+    PhysicalPlan,
+)
+
+# A usage profile: sorted (cse_id, count) pairs with count in {1, 2};
+# absent means 0 and 2 means "two or more".
+Profile = Tuple[Tuple[str, int], ...]
+EMPTY_PROFILE: Profile = ()
+
+
+def _profile_get(profile: Profile, cse_id: str) -> int:
+    for cid, count in profile:
+        if cid == cse_id:
+            return count
+    return 0
+
+
+def _profile_without(profile: Profile, cse_id: str) -> Profile:
+    return tuple((cid, n) for cid, n in profile if cid != cse_id)
+
+
+def _profile_add(profile: Profile, cse_id: str, count: int = 1) -> Profile:
+    merged = dict(profile)
+    merged[cse_id] = min(2, merged.get(cse_id, 0) + count)
+    return tuple(sorted(merged.items()))
+
+
+def _profile_merge(left: Profile, right: Profile) -> Profile:
+    if not left:
+        return right
+    if not right:
+        return left
+    merged = dict(left)
+    for cid, count in right:
+        merged[cid] = min(2, merged.get(cid, 0) + count)
+    return tuple(sorted(merged.items()))
+
+
+def _profile_support(profile: Profile) -> FrozenSet[str]:
+    return frozenset(cid for cid, _ in profile)
+
+
+@dataclass
+class PlanChoice:
+    """One group's best plan for one usage profile, with its cost."""
+
+    cost: float
+    plan: PhysicalPlan
+
+
+PlanSet = Dict[Profile, PlanChoice]
+
+
+@dataclass
+class QueryPlan:
+    """One finalized query plan plus the plans of its scalar subqueries."""
+
+    name: str
+    plan: PhysicalPlan
+    subquery_plans: Dict[str, PhysicalPlan] = field(default_factory=dict)
+    output_names: List[str] = field(default_factory=list)
+
+
+@dataclass
+class PlanBundle:
+    """The final batch plan: shared spools (dependency order) + queries."""
+
+    root_spools: Tuple[Tuple[str, PhysicalPlan], ...]
+    queries: List[QueryPlan]
+    est_cost: float
+
+    def describe(self) -> str:
+        """Human-readable text of all plans, spools first."""
+        lines: List[str] = []
+        for cse_id, body in self.root_spools:
+            lines.append(f"Spool {cse_id}:")
+            lines.append(body.describe(1))
+        for query in self.queries:
+            for sid, plan in query.subquery_plans.items():
+                lines.append(f"{query.name} subquery {sid}:")
+                lines.append(plan.describe(1))
+            lines.append(f"{query.name}:")
+            lines.append(query.plan.describe(1))
+        return "\n".join(lines)
+
+    def used_cses(self) -> List[str]:
+        """CSE ids actually materialized by this bundle, in order."""
+        used: List[str] = [cid for cid, _ in self.root_spools]
+        for query in self.queries:
+            plans = [query.plan] + list(query.subquery_plans.values())
+            for plan in plans:
+                for node in plan.walk():
+                    if isinstance(node, PhysSpoolDef):
+                        used.extend(cid for cid, _ in node.spools)
+        seen: Set[str] = set()
+        ordered: List[str] = []
+        for cid in used:
+            if cid not in seen:
+                seen.add(cid)
+                ordered.append(cid)
+        return ordered
+
+
+@dataclass
+class OptimizerStats:
+    """Everything the paper's experiment tables report."""
+
+    optimization_time: float = 0.0
+    normal_time: float = 0.0
+    cse_time: float = 0.0
+    est_cost_no_cse: float = 0.0
+    est_cost_final: float = 0.0
+    candidates_generated: int = 0
+    candidates_before_pruning: int = 0
+    cse_optimizations: int = 0
+    sharable_buckets: int = 0
+    signature_registrations: int = 0
+    used_cses: List[str] = field(default_factory=list)
+    candidate_ids: List[str] = field(default_factory=list)
+    prune_trace: Optional[PruneTrace] = None
+
+
+@dataclass
+class OptimizationResult:
+    """What :meth:`Optimizer.optimize` returns: the chosen bundle, stats,
+    the candidate CSEs considered, and the no-CSE baseline bundle."""
+
+    bundle: PlanBundle
+    stats: OptimizerStats
+    candidates: List[CandidateCse] = field(default_factory=list)
+    base_bundle: Optional[PlanBundle] = None
+
+    @property
+    def est_cost(self) -> float:
+        """Estimated cost of the chosen bundle."""
+        return self.bundle.est_cost
+
+
+@dataclass
+class _PassContext:
+    """State for one optimization pass with a fixed enabled candidate set."""
+
+    enabled: Tuple[CandidateCse, ...]
+    #: consumer group gid -> [(candidate, spec)] substitutions available.
+    substitutions: Dict[int, List[Tuple[CandidateCse, ConsumerSpec]]]
+    #: gid -> candidates whose LCA is that group (and are not root-settled).
+    closings: Dict[int, List[CandidateCse]]
+    #: candidates settled at the batch root (cross-query or stacked).
+    root_cses: Tuple[CandidateCse, ...]
+
+    @property
+    def enabled_ids(self) -> FrozenSet[str]:
+        """Ids of the candidates enabled in this pass."""
+        return frozenset(c.cse_id for c in self.enabled)
+
+
+class Optimizer:
+    """Cost-based optimizer with similar-subexpression exploitation."""
+
+    def __init__(
+        self,
+        database: Database,
+        options: Optional[OptimizerOptions] = None,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        self.database = database
+        self.options = options or OptimizerOptions()
+        self.cost_model = cost_model or CostModel()
+        self.estimator = CardinalityEstimator(database)
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def optimize(self, batch: BoundBatch) -> OptimizationResult:
+        """Run the full three-step optimization of Figure 1 on a batch."""
+        start = time.perf_counter()
+        stats = OptimizerStats()
+
+        memo = Memo(self.estimator, self.options)
+        self._memo = memo
+        self._plan_cache: Dict[Tuple[int, FrozenSet[str]], PlanSet] = {}
+        self._consumer_gids: Dict[str, Set[int]] = {}
+        self._tops: List[Tuple[str, object, Group]] = []
+
+        for query in batch.queries:
+            top = memo.build_block(query.block, part_id=query.name)
+            self._tops.append(("query", query, top))
+            for sid, sub_block in sorted(query.subqueries.items()):
+                sub_top = memo.build_block(sub_block, part_id=f"{query.name}:{sid}")
+                self._tops.append(("subquery", (query, sid), sub_top))
+        root = memo.build_root([top for _, _, top in self._tops])
+        self._root = root
+
+        manager = CseManager()
+        manager.register_all(memo.signature_log)
+        stats.signature_registrations = manager.registrations
+
+        # --- normal optimization ------------------------------------------
+        base_ctx = _PassContext((), {}, {}, ())
+        base_cost, base_bundle = self._assemble(base_ctx)
+        self._record_bounds()
+        stats.est_cost_no_cse = base_cost
+        stats.normal_time = time.perf_counter() - start
+
+        base_result = OptimizationResult(bundle=base_bundle, stats=stats)
+        base_result.base_bundle = base_bundle
+
+        if not self.options.enable_cse:
+            stats.est_cost_final = base_cost
+            stats.optimization_time = time.perf_counter() - start
+            return base_result
+        if base_cost <= self.options.cse_cost_threshold:
+            stats.est_cost_final = base_cost
+            stats.optimization_time = time.perf_counter() - start
+            return base_result
+
+        # --- Step 2: candidate generation -----------------------------------
+        buckets = manager.sharable_buckets()
+        stats.sharable_buckets = len(buckets)
+        if not buckets:
+            stats.est_cost_final = base_cost
+            stats.optimization_time = time.perf_counter() - start
+            return base_result
+
+        trace = PruneTrace()
+        stats.prune_trace = trace
+        candidates = self._generate_candidates(buckets, base_cost, trace, stats)
+        if not candidates:
+            stats.est_cost_final = base_cost
+            stats.optimization_time = time.perf_counter() - start
+            return base_result
+        stats.candidates_generated = len(candidates)
+        stats.candidate_ids = [c.cse_id for c in candidates]
+
+        # --- Step 3: optimization with candidate subsets ----------------------
+        enumerator = SubsetEnumerator(
+            candidates, memo, self.options.max_cse_optimizations
+        )
+        best_cost = base_cost
+        best_bundle = base_bundle
+        while True:
+            subset = enumerator.next_subset()
+            if subset is None:
+                break
+            enabled = tuple(
+                c for c in candidates if c.cse_id in subset
+            )
+            ctx = self._build_pass_context(enabled)
+            stats.cse_optimizations += 1
+            cost, bundle = self._assemble(ctx)
+            used = frozenset(bundle.used_cses())
+            enumerator.report(subset, used)
+            if cost < best_cost:
+                best_cost = cost
+                best_bundle = bundle
+
+        stats.est_cost_final = best_cost
+        stats.used_cses = best_bundle.used_cses()
+        stats.cse_time = time.perf_counter() - start - stats.normal_time
+        stats.optimization_time = time.perf_counter() - start
+        return OptimizationResult(
+            bundle=best_bundle,
+            stats=stats,
+            candidates=candidates,
+            base_bundle=base_bundle,
+        )
+
+    # ------------------------------------------------------------------
+    # Candidate generation (Step 2)
+    # ------------------------------------------------------------------
+
+    def _generate_candidates(
+        self,
+        buckets,
+        base_cost: float,
+        trace: PruneTrace,
+        stats: OptimizerStats,
+    ) -> List[CandidateCse]:
+        memo = self._memo
+        options = self.options
+        max_instance = max(
+            (t.instance for g in memo.groups for t in g.tables), default=0
+        )
+        counter = itertools.count(max_instance + 1)
+
+        def instance_allocator() -> int:
+            return next(counter)
+
+        id_allocator = CandidateIdAllocator()
+        definitions = []
+        for signature, groups in buckets:
+            if signature.table_count < options.min_cse_tables:
+                continue
+            if options.enable_heuristics and not heuristic1_keep(
+                groups, base_cost, options.alpha
+            ):
+                trace.heuristic1.append(f"bucket:{signature!r}")
+                continue
+            for compatible_set in compatibility_groups(groups, memo.block_infos):
+                definitions.extend(
+                    generate_candidates(
+                        compatible_set,
+                        memo.block_infos,
+                        self.estimator,
+                        self.cost_model,
+                        base_cost,
+                        options.alpha,
+                        options.enable_heuristics,
+                        instance_allocator,
+                        id_allocator,
+                        trace,
+                    )
+                )
+        stats.candidates_before_pruning = len(definitions)
+        if options.enable_heuristics:
+            definitions = heuristic4_filter(definitions, memo, options.beta, trace)
+        if len(definitions) > options.max_candidates:
+            definitions.sort(
+                key=lambda d: -sum(
+                    g.lower_bound or 0.0 for g in d.consumer_groups
+                )
+            )
+            definitions = definitions[: options.max_candidates]
+
+        # Build candidate bodies into the memo and optimize them standalone.
+        candidates: List[CandidateCse] = []
+        base_ctx = _PassContext((), {}, {}, ())
+        for definition in definitions:
+            memo.build_block(definition.block, part_id=f"cse:{definition.cse_id}")
+            memo.invalidate_dag_cache()
+            body_top = memo.block_tops[definition.block.name]
+            body_set = self._optimize_group(body_top, base_ctx)
+            body_choice = body_set[EMPTY_PROFILE]
+            project_cost = self.cost_model.project(
+                body_top.est_rows, len(definition.outputs)
+            )
+            candidate = CandidateCse(
+                definition=definition,
+                body_cost=body_choice.cost + project_cost,
+                write_cost=self.cost_model.spool_write(
+                    definition.est_rows, definition.row_width
+                ),
+                read_cost=self.cost_model.spool_read(
+                    definition.est_rows, definition.row_width
+                ),
+                body_top_gid=body_top.gid,
+            )
+            candidates.append(candidate)
+
+        self._candidates_by_id = {c.cse_id: c for c in candidates}
+        # Consumer specs (query-side), then stacked consumers (§5.5).
+        self._specs: Dict[str, List[ConsumerSpec]] = {}
+        self._body_specs: Dict[str, List[ConsumerSpec]] = {}
+        for candidate in candidates:
+            self._specs[candidate.cse_id] = build_consumer_specs(
+                candidate.definition, memo.block_infos
+            )
+            self._body_specs[candidate.cse_id] = []
+        if self.options.enable_stacked:
+            self._find_stacked_consumers(candidates)
+
+        # LCA per candidate (Definition 5.1; dynamic narrowing per §5.2).
+        memo.invalidate_dag_cache()
+        for candidate in candidates:
+            specs = self._specs[candidate.cse_id]
+            gids = [spec.group.gid for spec in specs]
+            self._consumer_gids[candidate.cse_id] = set(gids) | {
+                spec.group.gid for spec in self._body_specs[candidate.cse_id]
+            }
+            if candidate.lifted_to_root or not gids:
+                candidate.lca_gid = self._root.gid
+            elif self.options.dynamic_lca:
+                candidate.lca_gid = memo.least_common_ancestor(gids).gid
+            else:
+                all_gids = list(candidate.definition.consumer_gids)
+                candidate.lca_gid = memo.least_common_ancestor(all_gids).gid
+        return candidates
+
+    def _find_stacked_consumers(self, candidates: List[CandidateCse]) -> None:
+        """Let candidates be consumed inside other candidates' bodies.
+
+        Restricted to strictly narrower candidates consuming inside wider
+        ones, which keeps the stacking relation acyclic (DESIGN.md)."""
+        memo = self._memo
+        for inner in candidates:
+            for outer in candidates:
+                if inner is outer:
+                    continue
+                if not outer.signature_wider_than(inner):
+                    continue
+                body_name = outer.definition.block.name
+                info = memo.block_infos.get(body_name)
+                if info is None:
+                    continue
+                for group in memo.groups:
+                    if group.block is None or group.block.name != body_name:
+                        continue
+                    if group.signature != inner.definition.signature:
+                        continue
+                    spec = try_match_consumer(inner.definition, group, info)
+                    if spec is not None:
+                        self._body_specs[inner.cse_id].append(spec)
+                        inner.lifted_to_root = True
+
+    # ------------------------------------------------------------------
+    # Pass setup
+    # ------------------------------------------------------------------
+
+    def _build_pass_context(self, enabled: Tuple[CandidateCse, ...]) -> _PassContext:
+        substitutions: Dict[int, List[Tuple[CandidateCse, ConsumerSpec]]] = {}
+        closings: Dict[int, List[CandidateCse]] = {}
+        root_cses: List[CandidateCse] = []
+        enabled_ids = {c.cse_id for c in enabled}
+        for candidate in enabled:
+            specs = list(self._specs[candidate.cse_id])
+            for spec in specs:
+                substitutions.setdefault(spec.group.gid, []).append(
+                    (candidate, spec)
+                )
+            for spec in self._body_specs[candidate.cse_id]:
+                substitutions.setdefault(spec.group.gid, []).append(
+                    (candidate, spec)
+                )
+            if candidate.lca_gid == self._root.gid or candidate.lifted_to_root:
+                root_cses.append(candidate)
+            else:
+                closings.setdefault(candidate.lca_gid, []).append(candidate)
+                # The memo is a DAG: some plan paths from the consumers to
+                # the root may bypass the LCA group (e.g. via alternative
+                # pre-aggregation joins). Closing again at the owning
+                # block's top group — a dominator of every such path — is a
+                # no-op for plans already settled at the LCA and guarantees
+                # the dimension never leaks to the root.
+                lca_group = self._memo.groups[candidate.lca_gid]
+                block = lca_group.block
+                if block is not None:
+                    top = self._memo.block_tops.get(block.name)
+                    if top is not None and top.gid != candidate.lca_gid:
+                        closings.setdefault(top.gid, []).append(candidate)
+        return _PassContext(
+            enabled=tuple(enabled),
+            substitutions=substitutions,
+            closings=closings,
+            root_cses=tuple(root_cses),
+        )
+
+    # ------------------------------------------------------------------
+    # Group optimization (the profile DP)
+    # ------------------------------------------------------------------
+
+    def _relevant_ids(self, group: Group, ctx: _PassContext) -> FrozenSet[str]:
+        if not ctx.enabled:
+            return frozenset()
+        covered = self._memo.descendants(group) | {group.gid}
+        relevant = set()
+        for candidate in ctx.enabled:
+            if self._consumer_gids.get(candidate.cse_id, set()) & covered:
+                relevant.add(candidate.cse_id)
+        return frozenset(relevant)
+
+    def _optimize_group(self, group: Group, ctx: _PassContext) -> PlanSet:
+        relevant = self._relevant_ids(group, ctx)
+        cache_key = (group.gid, relevant)
+        cached = self._plan_cache.get(cache_key)
+        if cached is not None:
+            return cached
+
+        plans: PlanSet = {}
+
+        def offer(profile: Profile, cost: float, plan: PhysicalPlan) -> None:
+            existing = plans.get(profile)
+            if existing is None or cost < existing.cost:
+                plans[profile] = PlanChoice(cost, plan)
+
+        for expr in group.exprs:
+            if isinstance(expr, ScanExpr):
+                for cost, plan in self._scan_alternatives(group, expr):
+                    offer(EMPTY_PROFILE, cost, plan)
+            elif isinstance(expr, JoinExpr):
+                self._join_alternatives(group, expr, ctx, offer)
+            elif isinstance(expr, AggImplExpr):
+                self._agg_alternatives(group, expr, ctx, offer)
+            elif isinstance(expr, RootExpr):
+                raise OptimizerError("root group must go through _assemble()")
+
+        # Consumer substitution (§5.1): spool read + compensation.
+        for candidate, spec in ctx.substitutions.get(group.gid, ()):
+            cost, plan = self._substitute_plan(candidate, spec, group)
+            if self.options.cost_mode == "naive_split":
+                consumer_count = max(
+                    1, len(self._specs[candidate.cse_id])
+                    + len(self._body_specs[candidate.cse_id])
+                )
+                cost += candidate.initial_cost / consumer_count
+                offer(EMPTY_PROFILE, cost, plan)
+            else:
+                offer(_profile_add(EMPTY_PROFILE, candidate.cse_id), cost, plan)
+
+        # LCA settlement (§5.2): discard single-consumer plans, charge the
+        # initial cost once for plans with >= 2 consumers.
+        for candidate in ctx.closings.get(group.gid, ()):
+            plans = self._close_candidate(plans, candidate)
+
+        if not plans:
+            raise OptimizerError(f"group g{group.gid} produced no plan")
+        plans = _cap_planset(plans, 200)
+        self._plan_cache[cache_key] = plans
+        return plans
+
+    def _close_candidate(self, plans: PlanSet, candidate: CandidateCse) -> PlanSet:
+        closed: PlanSet = {}
+        body_plan = self._body_plan_standalone(candidate)
+        for profile, choice in plans.items():
+            uses = _profile_get(profile, candidate.cse_id)
+            if uses == 1:
+                continue
+            new_profile = _profile_without(profile, candidate.cse_id)
+            cost = choice.cost
+            plan = choice.plan
+            if uses >= 2:
+                cost += candidate.initial_cost
+                plan = PhysSpoolDef(
+                    spools=((candidate.cse_id, body_plan),),
+                    child=plan,
+                    est_rows=plan.est_rows,
+                )
+            existing = closed.get(new_profile)
+            if existing is None or cost < existing.cost:
+                closed[new_profile] = PlanChoice(cost, plan)
+        return closed
+
+    # -- physical alternatives ------------------------------------------------
+
+    def _scan_alternatives(
+        self, group: Group, expr: ScanExpr
+    ) -> List[Tuple[float, PhysicalPlan]]:
+        table_ref = expr.table_ref
+        table_rows = self.estimator.table_rows(table_ref)
+        width = self.database.catalog.table(table_ref.physical_name).row_width()
+        alternatives: List[Tuple[float, PhysicalPlan]] = []
+        seq_cost = self.cost_model.scan(table_rows, width, len(expr.conjuncts))
+        alternatives.append(
+            (
+                seq_cost,
+                PhysScan(
+                    table_ref=table_ref,
+                    conjuncts=expr.conjuncts,
+                    outputs=group.required_outputs,
+                    est_rows=group.est_rows,
+                ),
+            )
+        )
+        for conjunct in expr.conjuncts:
+            plan_cost = self._index_alternative(group, expr, conjunct, width)
+            if plan_cost is not None:
+                alternatives.append(plan_cost)
+        return alternatives
+
+    def _index_alternative(
+        self, group: Group, expr: ScanExpr, conjunct: Expr, width: int
+    ) -> Optional[Tuple[float, PhysicalPlan]]:
+        if not isinstance(conjunct, Comparison):
+            return None
+        normalized = conjunct.normalized()
+        if not (
+            isinstance(normalized.left, ColumnRef)
+            and isinstance(normalized.right, Literal)
+        ):
+            return None
+        column = normalized.left
+        index = self.database.index_for(expr.table_ref.physical_name, column.column)
+        if index is None:
+            return None
+        fraction = self.estimator.index_match_fraction(column, conjunct)
+        if fraction is None:
+            return None
+        table_rows = self.estimator.table_rows(expr.table_ref)
+        matching = fraction * table_rows
+        residual = tuple(c for c in expr.conjuncts if c is not conjunct)
+        cost = self.cost_model.index_scan(matching, width, len(residual))
+        low = high = None
+        low_inc = high_inc = True
+        value = float(normalized.right.value)
+        op = normalized.op
+        if op is ComparisonOp.EQ:
+            low = high = value
+        elif op is ComparisonOp.LT:
+            high, high_inc = value, False
+        elif op is ComparisonOp.LE:
+            high = value
+        elif op is ComparisonOp.GT:
+            low, low_inc = value, False
+        elif op is ComparisonOp.GE:
+            low = value
+        else:
+            return None
+        plan = PhysIndexScan(
+            table_ref=expr.table_ref,
+            column=column,
+            low=low,
+            high=high,
+            low_inclusive=low_inc,
+            high_inclusive=high_inc,
+            residual=residual,
+            outputs=group.required_outputs,
+            est_rows=group.est_rows,
+        )
+        return cost, plan
+
+    def _join_alternatives(self, group: Group, expr: JoinExpr, ctx, offer) -> None:
+        left_set = self._optimize_group(expr.left, ctx)
+        right_set = self._optimize_group(expr.right, ctx)
+        out_rows = group.est_rows
+        for left_profile, left_choice in left_set.items():
+            for right_profile, right_choice in right_set.items():
+                profile = _profile_merge(left_profile, right_profile)
+                build_rows = min(expr.left.est_rows, expr.right.est_rows)
+                probe_rows = max(expr.left.est_rows, expr.right.est_rows)
+                if expr.hash_keys:
+                    local = self.cost_model.hash_join(
+                        build_rows, probe_rows, out_rows, len(expr.residual)
+                    )
+                else:
+                    local = self.cost_model.cross_join(
+                        expr.left.est_rows, expr.right.est_rows, out_rows
+                    )
+                # Build on the smaller side: put it on the left.
+                if expr.left.est_rows <= expr.right.est_rows:
+                    left_plan, right_plan = left_choice.plan, right_choice.plan
+                    keys = expr.hash_keys
+                else:
+                    left_plan, right_plan = right_choice.plan, left_choice.plan
+                    keys = tuple((r, l) for l, r in expr.hash_keys)
+                plan = PhysHashJoin(
+                    left=left_plan,
+                    right=right_plan,
+                    keys=keys,
+                    residual=expr.residual,
+                    outputs=group.required_outputs,
+                    est_rows=out_rows,
+                )
+                offer(profile, left_choice.cost + right_choice.cost + local, plan)
+
+    def _agg_alternatives(self, group: Group, expr: AggImplExpr, ctx, offer) -> None:
+        child_set = self._optimize_group(expr.input_group, ctx)
+        local = self.cost_model.aggregate(
+            expr.input_group.est_rows, group.est_rows, len(expr.computes)
+        )
+        for profile, choice in child_set.items():
+            plan = PhysHashAgg(
+                child=choice.plan,
+                keys=expr.keys,
+                computes=expr.computes,
+                est_rows=group.est_rows,
+            )
+            offer(profile, choice.cost + local, plan)
+
+    def _substitute_plan(
+        self, candidate: CandidateCse, spec: ConsumerSpec, group: Group
+    ) -> Tuple[float, PhysicalPlan]:
+        rows = candidate.definition.est_rows
+        plan: PhysicalPlan = PhysSpoolRead(
+            cse_id=candidate.cse_id,
+            column_map=spec.column_map,
+            est_rows=rows,
+        )
+        cost = candidate.read_cost
+        if spec.residual:
+            selectivity = 1.0
+            for conjunct in spec.residual:
+                selectivity *= self.estimator.selectivity(conjunct)
+            out_rows = max(rows * selectivity, 1.0)
+            cost += self.cost_model.filter(rows, len(spec.residual))
+            plan = PhysFilter(plan, spec.residual, est_rows=out_rows)
+            rows = out_rows
+        if spec.needs_reagg:
+            cost += self.cost_model.aggregate(
+                rows, group.est_rows, len(spec.reagg_computes or ())
+            )
+            plan = PhysHashAgg(
+                child=plan,
+                keys=spec.reagg_keys or (),
+                computes=spec.reagg_computes or (),
+                est_rows=group.est_rows,
+            )
+        return cost, plan
+
+    # ------------------------------------------------------------------
+    # Root assembly
+    # ------------------------------------------------------------------
+
+    def _record_bounds(self) -> None:
+        """After the base pass, copy optimal costs into per-group bounds."""
+        for group in self._memo.groups:
+            if group.kind == "root":
+                continue
+            cached = self._plan_cache.get((group.gid, frozenset()))
+            if cached and EMPTY_PROFILE in cached:
+                cost = cached[EMPTY_PROFILE].cost
+                group.lower_bound = cost
+                group.upper_bound = cost
+
+    def _finalize_query(
+        self, query: BoundQuery, top: Group, choice: PlanChoice
+    ) -> Tuple[float, PhysicalPlan]:
+        rows = top.est_rows
+        cost = choice.cost
+        plan = choice.plan
+        block = query.block
+        if block.having:
+            cost += self.cost_model.filter(rows, len(block.having))
+            selectivity = 1.0
+            for conjunct in block.having:
+                selectivity *= self.estimator.selectivity(conjunct)
+            rows = max(rows * selectivity, 1.0)
+            plan = PhysFilter(plan, tuple(block.having), est_rows=rows)
+        cost += self.cost_model.project(rows, len(block.output))
+        plan = PhysProject(plan, block.output, est_rows=rows)
+        if query.order_by:
+            cost += self.cost_model.sort(rows)
+            plan = PhysSort(plan, tuple(query.order_by), est_rows=rows)
+        return cost, plan
+
+    def _finalize_subquery(
+        self, block_top: Group, block, choice: PlanChoice
+    ) -> Tuple[float, PhysicalPlan]:
+        rows = block_top.est_rows
+        cost = choice.cost + self.cost_model.project(rows, len(block.output))
+        plan = PhysProject(choice.plan, block.output, est_rows=rows)
+        return cost, plan
+
+    def _assemble(self, ctx: _PassContext) -> Tuple[float, PlanBundle]:
+        """Optimize all tops under ``ctx`` and settle root-level CSEs."""
+        # Fold children plansets: profile -> (cost, plans tuple).
+        combined: Dict[Profile, Tuple[float, Tuple[PhysicalPlan, ...]]] = {
+            EMPTY_PROFILE: (0.0, ())
+        }
+        for tag, payload, top in self._tops:
+            child_set = self._optimize_group(top, ctx)
+            folded: Dict[Profile, Tuple[float, Tuple[PhysicalPlan, ...]]] = {}
+            for profile0, (cost0, plans0) in combined.items():
+                for profile1, choice in child_set.items():
+                    if tag == "query":
+                        extra, plan = self._finalize_query(payload, top, choice)
+                    else:
+                        query, sid = payload
+                        sub_block = query.subqueries[sid]
+                        extra, plan = self._finalize_subquery(
+                            top, sub_block, choice
+                        )
+                    profile = _profile_merge(profile0, profile1)
+                    cost = cost0 + extra
+                    entry = folded.get(profile)
+                    if entry is None or cost < entry[0]:
+                        folded[profile] = (cost, plans0 + (plan,))
+            if len(folded) > 512:
+                keep = sorted(folded.items(), key=lambda kv: kv[1][0])[:511]
+                if EMPTY_PROFILE not in dict(keep):
+                    keep.append((EMPTY_PROFILE, folded[EMPTY_PROFILE]))
+                folded = dict(keep)
+            combined = folded
+
+        root_ids = frozenset(c.cse_id for c in ctx.root_cses)
+        best: Optional[Tuple[float, Tuple[PhysicalPlan, ...], Tuple]] = None
+
+        if not ctx.root_cses:
+            for profile, (cost, plans) in combined.items():
+                if _profile_support(profile):
+                    continue  # open CSEs with no settlement point: invalid
+                if best is None or cost < best[0]:
+                    best = (cost, plans, ())
+        elif len(ctx.root_cses) <= 8:
+            body_options = self._root_body_options(ctx)
+            for active_ids in self._root_activation_sets(ctx, combined, body_options):
+                active = tuple(
+                    c for c in ctx.root_cses if c.cse_id in active_ids
+                )
+                candidate_best = self._resolve_root_subset(
+                    combined, active, active_ids, body_options
+                )
+                if candidate_best is not None and (
+                    best is None or candidate_best[0] < best[0]
+                ):
+                    best = candidate_best
+        else:
+            # Very large enabled sets (no-heuristics ablations): greedy
+            # per-profile activation instead of the exponential search.
+            body_options = self._root_body_options(ctx)
+            best = self._resolve_root_greedy(ctx, combined, body_options)
+
+        if best is None:
+            raise OptimizerError("root assembly produced no valid plan")
+        total_cost, plans, spools = best
+        if self.options.cost_mode == "naive_split":
+            # Naive-split plans reference spools without settling them at any
+            # LCA; attach the bodies at the root so execution works (this is
+            # exactly the ablation's pathology: split accounting, no
+            # single-consumer discard).
+            spools = spools + self._naive_missing_spools(plans, spools)
+        bundle = self._build_bundle(total_cost, plans, spools)
+        return total_cost, bundle
+
+    def _naive_missing_spools(
+        self,
+        plans: Tuple[PhysicalPlan, ...],
+        spools: Tuple[Tuple[str, PhysicalPlan], ...],
+    ) -> Tuple[Tuple[str, PhysicalPlan], ...]:
+        have = {cid for cid, _ in spools}
+        read: List[str] = []
+        for plan in plans:
+            for node in plan.walk():
+                if isinstance(node, PhysSpoolDef):
+                    have.update(cid for cid, _ in node.spools)
+                elif isinstance(node, PhysSpoolRead):
+                    if node.cse_id not in read:
+                        read.append(node.cse_id)
+        missing = [cid for cid in read if cid not in have]
+        extra: List[Tuple[str, PhysicalPlan]] = []
+        for cid in missing:
+            candidate = self._candidates_by_id[cid]
+            extra.append((cid, self._body_plan_standalone(candidate)))
+        return tuple(extra)
+
+    def _resolve_root_greedy(
+        self, ctx: _PassContext, combined, body_options
+    ) -> Optional[Tuple[float, Tuple[PhysicalPlan, ...], Tuple]]:
+        """Per-profile greedy activation for very large root candidate sets.
+
+        For each folded query profile, activates exactly the CSEs the plan
+        reads (closing over stacked body dependencies with cheapest-first
+        body choices) and validates the ≥2-consumers rule. Profiles whose
+        activation cannot be validated are skipped; the no-CSE profile is
+        always valid, so a plan is always found.
+        """
+        root_ids = frozenset(c.cse_id for c in ctx.root_cses)
+        entries: Dict[str, List[Tuple[Profile, float, PhysicalPlan, FrozenSet[str]]]] = {}
+        for cid, options in body_options.items():
+            rows = [
+                (profile, cost, plan, _profile_support(profile))
+                for profile, cost, plan in options
+            ]
+            rows.sort(key=lambda r: r[1])
+            entries[cid] = rows
+
+        best: Optional[Tuple[float, Tuple[PhysicalPlan, ...], Tuple]] = None
+        for profile, (cost, plans) in combined.items():
+            support = _profile_support(profile)
+            if not support <= root_ids:
+                continue
+            active = set(support)
+            chosen: Dict[str, Tuple[Profile, float, PhysicalPlan, FrozenSet[str]]] = {}
+            for _ in range(4):  # bounded dependency-closure rounds
+                changed = False
+                for cid in sorted(active):
+                    options = entries.get(cid)
+                    if not options:
+                        chosen = {}
+                        active = None
+                        break
+                    pick = next(
+                        (o for o in options if o[3] <= active), options[0]
+                    )
+                    if chosen.get(cid) is not pick:
+                        chosen[cid] = pick
+                        changed = True
+                    for dep in pick[3]:
+                        if dep not in active:
+                            active.add(dep)
+                            changed = True
+                if active is None or not changed:
+                    break
+            if active is None:
+                continue
+            counts: Dict[str, int] = {cid: n for cid, n in profile}
+            for cid, pick in chosen.items():
+                for inner, n in pick[0]:
+                    counts[inner] = min(2, counts.get(inner, 0) + n)
+            if any(counts.get(cid, 0) < 2 for cid in active):
+                continue
+            total = cost + sum(pick[1] for pick in chosen.values())
+            if best is None or total < best[0]:
+                spools = tuple(
+                    (cid, pick[2]) for cid, pick in sorted(chosen.items())
+                )
+                best = (total, plans, spools)
+        return best
+
+    def _root_activation_sets(
+        self, ctx: _PassContext, combined, body_options
+    ) -> List[FrozenSet[str]]:
+        """All activation sets for the exhaustive (≤ 8 root CSEs) search."""
+        root_ids = sorted(c.cse_id for c in ctx.root_cses)
+        return [
+            frozenset(combo)
+            for r in range(len(root_ids) + 1)
+            for combo in itertools.combinations(root_ids, r)
+        ]
+
+    def _root_body_options(self, ctx: _PassContext):
+        """Per root CSE: list of (profile, cost incl. C_W, body plan)."""
+        options: Dict[str, List[Tuple[Profile, float, PhysicalPlan]]] = {}
+        for candidate in ctx.root_cses:
+            body_top = self._memo.groups[candidate.body_top_gid]
+            body_set = self._optimize_group(body_top, ctx)
+            project_cost = self.cost_model.project(
+                body_top.est_rows, len(candidate.definition.outputs)
+            )
+            entries: List[Tuple[Profile, float, PhysicalPlan]] = []
+            for profile, choice in body_set.items():
+                plan = PhysProject(
+                    choice.plan,
+                    candidate.definition.outputs,
+                    est_rows=body_top.est_rows,
+                )
+                entries.append(
+                    (
+                        profile,
+                        choice.cost + project_cost + candidate.write_cost,
+                        plan,
+                    )
+                )
+            options[candidate.cse_id] = entries
+        return options
+
+    def _resolve_root_subset(
+        self,
+        combined,
+        active: Tuple[CandidateCse, ...],
+        active_ids: FrozenSet[str],
+        body_options,
+    ) -> Optional[Tuple[float, Tuple[PhysicalPlan, ...], Tuple]]:
+        """Best assembly using exactly the root candidates in ``active``."""
+        best: Optional[Tuple[float, Tuple[PhysicalPlan, ...], Tuple]] = None
+        # Body choice options per active candidate, restricted to the active
+        # set and Pareto-pruned (an entry dominated in both cost and consumed
+        # set can never help).
+        per_body: List[List[Tuple[str, Profile, float, PhysicalPlan]]] = []
+        for candidate in active:
+            valid = [
+                (candidate.cse_id, profile, cost, plan)
+                for profile, cost, plan in body_options[candidate.cse_id]
+                if _profile_support(profile) <= active_ids
+            ]
+            if not valid:
+                return None
+            valid.sort(key=lambda entry: entry[2])
+            pareto: List[Tuple[str, Profile, float, PhysicalPlan]] = []
+            for entry in valid:
+                support = _profile_support(entry[1])
+                if any(
+                    kept[2] <= entry[2]
+                    and support <= _profile_support(kept[1])
+                    for kept in pareto
+                ):
+                    continue
+                pareto.append(entry)
+            per_body.append(pareto)
+
+        combo_space = 1
+        for options in per_body:
+            combo_space *= len(options)
+        if combo_space <= 512:
+            combo_list = list(itertools.product(*per_body)) if per_body else [()]
+        else:
+            # Safety valve for pathological stacking depth: cheapest bodies
+            # plus the maximal-consumption variant of each.
+            cheapest = tuple(options[0] for options in per_body)
+            greediest = tuple(
+                max(options, key=lambda e: len(_profile_support(e[1])))
+                for options in per_body
+            )
+            combo_list = [cheapest]
+            if greediest != cheapest:
+                combo_list.append(greediest)
+
+        for profile, (cost, plans) in combined.items():
+            if not _profile_support(profile) <= active_ids:
+                continue
+            for body_combo in combo_list:
+                counts: Dict[str, int] = {cid: n for cid, n in profile}
+                body_cost = 0.0
+                spools: List[Tuple[str, PhysicalPlan]] = []
+                for cid, body_profile, bcost, bplan in body_combo:
+                    body_cost += bcost
+                    spools.append((cid, bplan))
+                    for inner_id, n in body_profile:
+                        counts[inner_id] = min(2, counts.get(inner_id, 0) + n)
+                valid = all(
+                    counts.get(candidate.cse_id, 0) >= 2 for candidate in active
+                )
+                if not valid:
+                    continue
+                total = cost + body_cost
+                if best is None or total < best[0]:
+                    best = (total, plans, tuple(spools))
+        return best
+
+    def _body_plan_standalone(self, candidate: CandidateCse) -> PhysicalPlan:
+        body_top = self._memo.groups[candidate.body_top_gid]
+        base_ctx = _PassContext((), {}, {}, ())
+        body_set = self._optimize_group(body_top, base_ctx)
+        return PhysProject(
+            body_set[EMPTY_PROFILE].plan,
+            candidate.definition.outputs,
+            est_rows=body_top.est_rows,
+        )
+
+    def _build_bundle(
+        self,
+        total_cost: float,
+        plans: Tuple[PhysicalPlan, ...],
+        spools: Tuple[Tuple[str, PhysicalPlan], ...],
+    ) -> PlanBundle:
+        # Order spools so dependencies (stacked CSEs) materialize first.
+        ordered = _toposort_spools(spools)
+        queries: List[QueryPlan] = []
+        by_query: Dict[str, QueryPlan] = {}
+        for (tag, payload, _top), plan in zip(self._tops, plans):
+            if tag == "query":
+                query = payload
+                qplan = QueryPlan(
+                    name=query.name,
+                    plan=plan,
+                    output_names=[o.name for o in query.block.output],
+                )
+                queries.append(qplan)
+                by_query[query.name] = qplan
+            else:
+                query, sid = payload
+                by_query[query.name].subquery_plans[sid] = plan
+        return PlanBundle(
+            root_spools=ordered, queries=queries, est_cost=total_cost
+        )
+
+
+def _cap_planset(plans: PlanSet, limit: int) -> PlanSet:
+    """Bound a group's profile dictionary, always keeping the base plan."""
+    if len(plans) <= limit:
+        return plans
+    kept = dict(sorted(plans.items(), key=lambda kv: kv[1].cost)[: limit - 1])
+    if EMPTY_PROFILE in plans:
+        kept[EMPTY_PROFILE] = plans[EMPTY_PROFILE]
+    return kept
+
+
+def _toposort_spools(
+    spools: Tuple[Tuple[str, PhysicalPlan], ...]
+) -> Tuple[Tuple[str, PhysicalPlan], ...]:
+    remaining = list(spools)
+    placed: List[Tuple[str, PhysicalPlan]] = []
+    placed_ids: Set[str] = set()
+    ids = {cid for cid, _ in spools}
+    while remaining:
+        progressed = False
+        for entry in list(remaining):
+            cid, plan = entry
+            deps = {
+                node.cse_id
+                for node in plan.walk()
+                if isinstance(node, PhysSpoolRead)
+            } & ids
+            if deps <= placed_ids:
+                placed.append(entry)
+                placed_ids.add(cid)
+                remaining.remove(entry)
+                progressed = True
+        if not progressed:
+            raise OptimizerError("cyclic spool dependencies")
+    return tuple(placed)

@@ -1,0 +1,159 @@
+"""Cost-annotated EXPLAIN output.
+
+Reconstructs per-operator cost estimates for a physical plan from the cost
+model and each node's estimated cardinalities, and renders an annotated
+tree. The numbers match what the optimizer charged during search (the same
+formulas over the same cardinalities), so the annotated total of a query
+plan equals its winner cost up to the fixed finalization terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..storage.database import Database
+from .cost import CostModel
+from .engine import PlanBundle
+from .physical import (
+    PhysFilter,
+    PhysHashAgg,
+    PhysHashJoin,
+    PhysIndexScan,
+    PhysProject,
+    PhysScan,
+    PhysSort,
+    PhysSpoolDef,
+    PhysSpoolRead,
+    PhysicalPlan,
+)
+
+
+@dataclass
+class AnnotatedNode:
+    """One operator with its local and cumulative estimated cost."""
+
+    plan: PhysicalPlan
+    local_cost: float
+    total_cost: float
+    children: List["AnnotatedNode"]
+
+    def render(self, indent: int = 0) -> str:
+        """Indented text rendering with cost annotations."""
+        line = (
+            "  " * indent
+            + f"{self.plan._describe_line()}"
+            + f"  [local {self.local_cost:.2f}, total {self.total_cost:.2f}]"
+        )
+        parts = [line]
+        for child in self.children:
+            parts.append(child.render(indent + 1))
+        return "\n".join(parts)
+
+
+class PlanAnnotator:
+    """Computes per-node cost annotations for physical plans."""
+
+    def __init__(
+        self, database: Database, cost_model: Optional[CostModel] = None
+    ) -> None:
+        self.database = database
+        self.cost_model = cost_model or CostModel()
+        self._spool_stats: dict = {}
+
+    # ------------------------------------------------------------------
+
+    def annotate(self, plan: PhysicalPlan) -> AnnotatedNode:
+        """Annotate one plan tree bottom-up."""
+        children = [self.annotate(child) for child in plan.children()]
+        local = self._local_cost(plan)
+        total = local + sum(child.total_cost for child in children)
+        return AnnotatedNode(
+            plan=plan, local_cost=local, total_cost=total, children=children
+        )
+
+    def annotate_bundle(self, bundle: PlanBundle) -> str:
+        """Annotated text for a whole bundle (spools first)."""
+        parts: List[str] = []
+        for cse_id, body in bundle.root_spools:
+            node = self.annotate(body)
+            self._remember_spool(cse_id, body)
+            parts.append(f"Spool {cse_id}:")
+            parts.append(node.render(1))
+        for query in bundle.queries:
+            for sid, sub in query.subquery_plans.items():
+                parts.append(f"{query.name} subquery {sid}:")
+                parts.append(self.annotate(sub).render(1))
+            parts.append(f"{query.name}:")
+            parts.append(self.annotate(query.plan).render(1))
+        return "\n".join(parts)
+
+    def _remember_spool(self, cse_id: str, body: PhysicalPlan) -> None:
+        if isinstance(body, PhysProject):
+            rows = body.est_rows
+            width = sum(
+                o.expr.data_type.byte_width for o in body.outputs
+            )
+            self._spool_stats[cse_id] = (rows, width)
+
+    # ------------------------------------------------------------------
+
+    def _local_cost(self, plan: PhysicalPlan) -> float:
+        model = self.cost_model
+        if isinstance(plan, PhysScan):
+            table = self.database.table(plan.table_ref.physical_name)
+            return model.scan(
+                table.row_count, table.row_width(), len(plan.conjuncts)
+            )
+        if isinstance(plan, PhysIndexScan):
+            table = self.database.table(plan.table_ref.physical_name)
+            return model.index_scan(
+                plan.est_rows, table.row_width(), len(plan.residual)
+            )
+        if isinstance(plan, PhysHashJoin):
+            left_rows = plan.left.est_rows
+            right_rows = plan.right.est_rows
+            if plan.keys:
+                return model.hash_join(
+                    min(left_rows, right_rows),
+                    max(left_rows, right_rows),
+                    plan.est_rows,
+                    len(plan.residual),
+                )
+            return model.cross_join(left_rows, right_rows, plan.est_rows)
+        if isinstance(plan, PhysHashAgg):
+            return model.aggregate(
+                plan.child.est_rows, plan.est_rows, len(plan.computes)
+            )
+        if isinstance(plan, PhysFilter):
+            return model.filter(plan.child.est_rows, len(plan.conjuncts))
+        if isinstance(plan, PhysProject):
+            return model.project(plan.child.est_rows, len(plan.outputs))
+        if isinstance(plan, PhysSort):
+            return model.sort(plan.child.est_rows)
+        if isinstance(plan, PhysSpoolRead):
+            rows, width = self._spool_stats.get(
+                plan.cse_id, (plan.est_rows, 8)
+            )
+            return model.spool_read(rows, width)
+        if isinstance(plan, PhysSpoolDef):
+            # Write costs for the spools it defines (bodies annotated as
+            # children).
+            total = 0.0
+            for cse_id, body in plan.spools:
+                self._remember_spool(cse_id, body)
+                rows, width = self._spool_stats.get(cse_id, (0.0, 8))
+                total += model.spool_write(rows, width)
+            return total
+        return 0.0
+
+
+def explain_with_costs(
+    database: Database,
+    bundle: PlanBundle,
+    cost_model: Optional[CostModel] = None,
+) -> str:
+    """Annotated EXPLAIN for an optimized bundle."""
+    annotator = PlanAnnotator(database, cost_model)
+    header = f"estimated bundle cost: {bundle.est_cost:.2f}"
+    return header + "\n" + annotator.annotate_bundle(bundle)

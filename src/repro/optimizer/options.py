@@ -1,0 +1,95 @@
+"""Optimizer configuration knobs.
+
+Defaults follow the paper: α = 10% (Heuristic 1), β = 90% (Heuristic 4),
+CSE exploitation enabled, heuristic pruning enabled, dynamic LCA enabled.
+Each knob exists so the benchmarks can reproduce the paper's "no CSE" /
+"using CSEs" / "using CSEs (no heuristics)" columns and the ablations in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class OptimizerOptions:
+    """Configuration for :class:`repro.optimizer.engine.Optimizer`."""
+
+    #: Master switch for the CSE optimization phase (Steps 2-3, §2.2).
+    enable_cse: bool = True
+
+    #: Heuristic pruning (Heuristics 1-4, §4.3). When off, one candidate per
+    #: join-compatible signature bucket is generated covering all consumers,
+    #: reproducing the paper's "no heuristics" columns.
+    enable_heuristics: bool = True
+
+    #: Heuristic 1 threshold: candidates whose consumers' summed lower cost
+    #: bounds are below ``alpha`` × (total query cost) are discarded.
+    alpha: float = 0.10
+
+    #: Heuristic 4 threshold: a contained candidate is discarded when its
+    #: estimated result size exceeds ``beta`` × the containing candidate's.
+    beta: float = 0.90
+
+    #: Explore eager pre-aggregation (group-by pushdown below joins). This is
+    #: what generates aggregated sharing opportunities such as the paper's
+    #: E4/E5 (Figure 6).
+    enable_preagg: bool = True
+
+    #: Pre-aggregation is explored for connected table subsets of at most
+    #: this size (a search-space guard for very large joins).
+    preagg_max_tables: int = 5
+
+    #: Only explore pre-aggregation of a subset that contains at least one
+    #: aggregate argument. Off by default: the compression rule below is the
+    #: search-space gate (count-only pre-aggregates are still allowed when
+    #: they compress, which the stacked-CSE experiment of §6.2 needs).
+    preagg_needs_aggregate: bool = False
+
+    #: Explore a pre-aggregation only when its estimated group count is at
+    #: most this fraction of its input cardinality. Non-compressing
+    #: pre-aggregates never win and would flood the signature table with
+    #: spurious sharing opportunities (Figure 6 contains γ(O⋈L) but not the
+    #: non-compressing γ(C⋈O)).
+    preagg_min_compression: float = 0.7
+
+    #: Minimum number of referenced tables for a sharable signature bucket.
+    #: Single-table covering subexpressions save no join work and the
+    #: paper's prototype does not generate them (Figure 6).
+    min_cse_tables: int = 2
+
+    #: §5.2's dynamic LCA: compute the least common ancestor over the
+    #: consumers that can actually substitute (matched), not the full
+    #: constructed set. The paper's runtime narrowing ("after a consumer's
+    #: subtree resolves without the CSE, move the LCA down") exists to prune
+    #: a single-best-plan optimizer's wasted work; the usage-profile search
+    #: here keeps both alternatives per group, so that effect is subsumed —
+    #: see DESIGN.md. Static placement (False) is always correct too.
+    dynamic_lca: bool = True
+
+    #: §5.5 stacked CSEs: let candidate bodies consume other candidates.
+    enable_stacked: bool = True
+
+    #: Hard caps keeping pathological inputs bounded.
+    max_candidates: int = 64
+    max_cse_optimizations: int = 128
+
+    #: Cost accounting for shared spools. ``"profile"`` is the paper's
+    #: correct scheme (§5.2: usage cost per consumer, initial cost once at
+    #: the LCA, single-consumer plans discarded). ``"naive_split"``
+    #: reproduces the broken scheme the paper argues against (initial cost
+    #: split evenly among potential consumers at substitution time).
+    cost_mode: str = "profile"
+
+    #: Enter the CSE phase only when the batch's estimated cost exceeds this
+    #: value ("only if the query is expensive", §2.2). 0 disables the gate.
+    cse_cost_threshold: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cost_mode not in ("profile", "naive_split"):
+            raise ValueError(f"unknown cost_mode {self.cost_mode!r}")
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError("alpha must be within [0, 1]")
+        if not 0.0 <= self.beta:
+            raise ValueError("beta must be non-negative")

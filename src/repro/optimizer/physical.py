@@ -1,0 +1,219 @@
+"""Physical plan operators.
+
+A physical plan is an operator tree whose leaves scan base tables or read
+spooled work tables. Intermediate results flow as *frames*: mappings from
+expression keys (column references, aggregate expressions, partial-aggregate
+outputs) to numpy column arrays. Each node records the expression keys it
+outputs plus its estimated cardinality, so explain output and the executor's
+metric accounting line up with the optimizer's estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..expr.expressions import ColumnRef, Expr, TableRef
+from ..logical.blocks import OutputColumn
+from .aggs import AggCompute
+
+
+class PhysicalPlan:
+    """Base class for physical operators."""
+
+    est_rows: float = 0.0
+
+    def children(self) -> Tuple["PhysicalPlan", ...]:
+        return ()
+
+    def walk(self):
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    # -- explain -----------------------------------------------------------
+
+    def describe(self, indent: int = 0) -> str:
+        lines = [("  " * indent) + self._describe_line()]
+        for child in self.children():
+            lines.append(child.describe(indent + 1))
+        return "\n".join(lines)
+
+    def _describe_line(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class PhysScan(PhysicalPlan):
+    """Sequential scan of a base table with pushed-down filters."""
+
+    table_ref: TableRef
+    conjuncts: Tuple[Expr, ...]
+    outputs: Tuple[Expr, ...]
+    est_rows: float = 0.0
+
+    def _describe_line(self) -> str:
+        return (
+            f"Scan {self.table_ref.physical_name} as {self.table_ref.display_name}"
+            f" filters={len(self.conjuncts)} (~{self.est_rows:.0f} rows)"
+        )
+
+
+@dataclass
+class PhysIndexScan(PhysicalPlan):
+    """Range-index access on one column plus residual filters."""
+
+    table_ref: TableRef
+    column: ColumnRef
+    low: Optional[float]
+    high: Optional[float]
+    low_inclusive: bool
+    high_inclusive: bool
+    residual: Tuple[Expr, ...]
+    outputs: Tuple[Expr, ...]
+    est_rows: float = 0.0
+
+    def _describe_line(self) -> str:
+        return (
+            f"IndexScan {self.table_ref.physical_name}.{self.column.column} "
+            f"range=[{self.low},{self.high}] (~{self.est_rows:.0f} rows)"
+        )
+
+
+@dataclass
+class PhysHashJoin(PhysicalPlan):
+    """Hash join; with no keys it degrades to a (filtered) cross product."""
+
+    left: PhysicalPlan
+    right: PhysicalPlan
+    keys: Tuple[Tuple[Expr, Expr], ...]  # (left key, right key) pairs
+    residual: Tuple[Expr, ...]
+    outputs: Tuple[Expr, ...]
+    est_rows: float = 0.0
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.left, self.right)
+
+    def _describe_line(self) -> str:
+        keys = ", ".join(f"{l!r}={r!r}" for l, r in self.keys)
+        kind = "HashJoin" if self.keys else "CrossJoin"
+        return f"{kind} on [{keys}] (~{self.est_rows:.0f} rows)"
+
+
+@dataclass
+class PhysHashAgg(PhysicalPlan):
+    """Hash aggregation: group by ``keys``, evaluate ``computes``."""
+
+    child: PhysicalPlan
+    keys: Tuple[Expr, ...]
+    computes: Tuple[AggCompute, ...]
+    est_rows: float = 0.0
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    @property
+    def outputs(self) -> Tuple[Expr, ...]:
+        return tuple(self.keys) + tuple(c.out for c in self.computes)
+
+    def _describe_line(self) -> str:
+        return (
+            f"HashAgg keys={len(self.keys)} aggs={len(self.computes)}"
+            f" (~{self.est_rows:.0f} rows)"
+        )
+
+
+@dataclass
+class PhysFilter(PhysicalPlan):
+    """Apply residual/compensation conjuncts."""
+
+    child: PhysicalPlan
+    conjuncts: Tuple[Expr, ...]
+    est_rows: float = 0.0
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def _describe_line(self) -> str:
+        return f"Filter {list(self.conjuncts)!r} (~{self.est_rows:.0f} rows)"
+
+
+@dataclass
+class PhysProject(PhysicalPlan):
+    """Compute named output columns (the top of a query or a spool body)."""
+
+    child: PhysicalPlan
+    outputs: Tuple[OutputColumn, ...]
+    est_rows: float = 0.0
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def _describe_line(self) -> str:
+        names = ", ".join(o.name for o in self.outputs)
+        return f"Project [{names}]"
+
+
+@dataclass
+class PhysSort(PhysicalPlan):
+    """Order rows by (expression, descending) items."""
+
+    child: PhysicalPlan
+    sort_items: Tuple[Tuple[Expr, bool], ...]
+    est_rows: float = 0.0
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def _describe_line(self) -> str:
+        return f"Sort {[(repr(e), d) for e, d in self.sort_items]!r}"
+
+
+@dataclass
+class PhysSpoolRead(PhysicalPlan):
+    """Read a materialized CSE work table, renaming its named columns to the
+    consumer's expression keys (§5.1 substitute)."""
+
+    cse_id: str
+    column_map: Tuple[Tuple[str, Expr], ...]  # (work-table column, consumer key)
+    est_rows: float = 0.0
+
+    @property
+    def outputs(self) -> Tuple[Expr, ...]:
+        return tuple(expr for _, expr in self.column_map)
+
+    def _describe_line(self) -> str:
+        return f"SpoolRead {self.cse_id} (~{self.est_rows:.0f} rows)"
+
+
+@dataclass
+class PhysSpoolDef(PhysicalPlan):
+    """Materialize one or more spools, then evaluate the child once.
+
+    Emitted at a CSE's least common ancestor (§5.2): every spool body below
+    is computed exactly once and read by each consumer in the subtree.
+    """
+
+    spools: Tuple[Tuple[str, PhysicalPlan], ...]  # (cse_id, body plan)
+    child: PhysicalPlan
+    est_rows: float = 0.0
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return tuple(body for _, body in self.spools) + (self.child,)
+
+    def _describe_line(self) -> str:
+        ids = ", ".join(cid for cid, _ in self.spools)
+        return f"SpoolDef [{ids}]"
+
+
+@dataclass
+class PhysBatch(PhysicalPlan):
+    """The dummy batch root: independent per-query plans evaluated in order."""
+
+    queries: Tuple[Tuple[str, PhysicalPlan], ...]  # (query name, plan)
+
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return tuple(plan for _, plan in self.queries)
+
+    def _describe_line(self) -> str:
+        return f"Batch [{', '.join(name for name, _ in self.queries)}]"

@@ -1,0 +1,17 @@
+"""SQL frontend: lexer, parser, and binder for the SPJG subset used by the
+paper's workloads (plus WITH, scalar subqueries, ORDER BY, and batches)."""
+
+from .lexer import Token, TokenType, tokenize
+from .parser import parse_batch, parse_statement
+from .binder import Binder, bind_batch, bind_sql
+
+__all__ = [
+    "Token",
+    "TokenType",
+    "tokenize",
+    "parse_batch",
+    "parse_statement",
+    "Binder",
+    "bind_batch",
+    "bind_sql",
+]

@@ -1,0 +1,111 @@
+"""SQL abstract syntax tree nodes (parser output, binder input)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+
+class SqlExpr:
+    """Base class for SQL-level expressions."""
+
+
+@dataclass
+class SqlColumn(SqlExpr):
+    """Possibly-qualified column reference (``alias.col`` or ``col``)."""
+
+    qualifier: Optional[str]
+    name: str
+
+
+@dataclass
+class SqlLiteral(SqlExpr):
+    value: Any
+    is_date: bool = False  # DATE 'yyyy-mm-dd' literals
+
+
+@dataclass
+class SqlStar(SqlExpr):
+    """``*`` or ``alias.*`` in a select list."""
+
+    qualifier: Optional[str] = None
+
+
+@dataclass
+class SqlCall(SqlExpr):
+    """Aggregate function call: SUM/COUNT/MIN/MAX/AVG."""
+
+    func: str
+    arg: Optional[SqlExpr]  # None for COUNT(*)
+    distinct: bool = False
+
+
+@dataclass
+class SqlBinary(SqlExpr):
+    """Binary operator: comparisons, arithmetic, AND, OR."""
+
+    op: str
+    left: SqlExpr
+    right: SqlExpr
+
+
+@dataclass
+class SqlNot(SqlExpr):
+    term: SqlExpr
+
+
+@dataclass
+class SqlBetween(SqlExpr):
+    subject: SqlExpr
+    low: SqlExpr
+    high: SqlExpr
+    negated: bool = False
+
+
+@dataclass
+class SqlInList(SqlExpr):
+    subject: SqlExpr
+    options: List[SqlExpr]
+    negated: bool = False
+
+
+@dataclass
+class SqlSubquery(SqlExpr):
+    """A scalar subquery used inside an expression."""
+
+    select: "SelectStatement"
+
+
+@dataclass
+class SelectItem:
+    expr: SqlExpr
+    alias: Optional[str] = None
+
+
+@dataclass
+class TableItem:
+    name: str
+    alias: Optional[str] = None
+
+
+@dataclass
+class OrderItem:
+    expr: SqlExpr
+    descending: bool = False
+
+
+@dataclass
+class CommonTableExpr:
+    name: str
+    select: "SelectStatement"
+
+
+@dataclass
+class SelectStatement:
+    select_items: List[SelectItem]
+    from_items: List[TableItem]
+    where: Optional[SqlExpr] = None
+    group_by: List[SqlExpr] = field(default_factory=list)
+    having: Optional[SqlExpr] = None
+    order_by: List[OrderItem] = field(default_factory=list)
+    ctes: List[CommonTableExpr] = field(default_factory=list)

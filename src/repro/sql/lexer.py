@@ -1,0 +1,150 @@
+"""SQL lexer.
+
+Produces a flat token stream; keywords are case-insensitive and reported
+with their canonical upper-case spelling. String literals use single quotes
+with ``''`` escaping. Numbers are INT or FLOAT tokens.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, List
+
+from ..errors import LexerError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "AS",
+    "AND", "OR", "NOT", "ASC", "DESC", "WITH", "SUM", "COUNT", "MIN",
+    "MAX", "AVG", "DATE", "BETWEEN", "IN", "DISTINCT",
+}
+
+
+class TokenType(enum.Enum):
+    """Token categories produced by the lexer."""
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"  # = <> < <= > >= + - * /
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    DOT = "."
+    SEMICOLON = ";"
+    STAR = "*"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexed token: category, value, and source offset."""
+
+    type: TokenType
+    value: Any
+    position: int
+
+    def matches_keyword(self, keyword: str) -> bool:
+        """Whether this token is the given (canonical) keyword."""
+        return self.type is TokenType.KEYWORD and self.value == keyword
+
+    def __repr__(self) -> str:
+        return f"{self.type.value}:{self.value!r}@{self.position}"
+
+
+_OPERATOR_STARTS = "=<>+-/!"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize SQL text; raises :class:`LexerError` on bad input."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and i + 1 < n and text[i + 1] == "-":
+            # Line comment.
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenType.IDENT, word.lower(), start))
+            continue
+        if ch.isdigit():
+            start = i
+            seen_dot = False
+            while i < n and (text[i].isdigit() or (text[i] == "." and not seen_dot)):
+                if text[i] == ".":
+                    # Only a decimal point when followed by a digit; else it
+                    # is a qualifier dot (e.g. after a number? never valid,
+                    # but keep the lexer simple and strict).
+                    if i + 1 >= n or not text[i + 1].isdigit():
+                        break
+                    seen_dot = True
+                i += 1
+            literal = text[start:i]
+            value: Any = float(literal) if seen_dot else int(literal)
+            tokens.append(Token(TokenType.NUMBER, value, start))
+            continue
+        if ch == "'":
+            start = i
+            i += 1
+            parts: List[str] = []
+            while True:
+                if i >= n:
+                    raise LexerError("unterminated string literal", start)
+                if text[i] == "'":
+                    if i + 1 < n and text[i + 1] == "'":
+                        parts.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                parts.append(text[i])
+                i += 1
+            tokens.append(Token(TokenType.STRING, "".join(parts), start))
+            continue
+        if ch in _OPERATOR_STARTS:
+            start = i
+            if ch == "<" and i + 1 < n and text[i + 1] in "=>":
+                op = text[i : i + 2]
+                i += 2
+            elif ch == ">" and i + 1 < n and text[i + 1] == "=":
+                op = ">="
+                i += 2
+            elif ch == "!" and i + 1 < n and text[i + 1] == "=":
+                op = "<>"
+                i += 2
+            elif ch == "!":
+                raise LexerError(f"unexpected character {ch!r}", i)
+            else:
+                op = ch
+                i += 1
+            tokens.append(Token(TokenType.OPERATOR, op, start))
+            continue
+        simple = {
+            "(": TokenType.LPAREN,
+            ")": TokenType.RPAREN,
+            ",": TokenType.COMMA,
+            ".": TokenType.DOT,
+            ";": TokenType.SEMICOLON,
+            "*": TokenType.STAR,
+        }
+        if ch in simple:
+            tokens.append(Token(simple[ch], ch, i))
+            i += 1
+            continue
+        raise LexerError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.EOF, None, n))
+    return tokens

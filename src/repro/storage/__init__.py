@@ -1,0 +1,8 @@
+"""In-memory column-oriented storage engine."""
+
+from .table import Table
+from .index import RangeIndex
+from .worktable import WorkTable
+from .database import Database
+
+__all__ = ["Table", "RangeIndex", "WorkTable", "Database"]

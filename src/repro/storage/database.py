@@ -1,0 +1,144 @@
+"""The database: catalog + stored tables + indexes + statistics.
+
+This is the substrate every other layer builds on. The optimizer consults
+``Database.statistics`` for cardinality estimation; the executor reads table
+columns; the CSE machinery never touches storage directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from ..catalog.schema import Catalog, IndexSchema, TableSchema
+from ..catalog.statistics import ColumnStats, TableStats
+from ..errors import CatalogError, StorageError
+from .index import RangeIndex
+from .table import Table
+
+
+class Database:
+    """An in-memory database instance."""
+
+    def __init__(self) -> None:
+        self.catalog = Catalog()
+        self._tables: Dict[str, Table] = {}
+        self._indexes: Dict[str, RangeIndex] = {}
+        self._stats: Dict[str, TableStats] = {}
+
+    # -- DDL ---------------------------------------------------------------
+
+    def create_table(
+        self, schema: TableSchema, data: Optional[Mapping[str, Any]] = None
+    ) -> Table:
+        """Register a schema and create its (optionally pre-loaded) table."""
+        self.catalog.add_table(schema)
+        table = Table(schema, data)
+        self._tables[schema.name.lower()] = table
+        for index_schema in schema.indexes:
+            self._register_index(index_schema, table)
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table, its indexes, and its statistics."""
+        self.catalog.drop_table(name)
+        key = name.lower()
+        table = self._tables.pop(key)
+        for index_name in [
+            n for n, ix in self._indexes.items() if ix.table is table
+        ]:
+            del self._indexes[index_name]
+        self._stats.pop(key, None)
+
+    def create_index(self, name: str, table_name: str, column: str) -> RangeIndex:
+        """Create a range index over one numeric/date column."""
+        schema = self.catalog.table(table_name)
+        index_schema = IndexSchema(name=name, table=schema.name, column=column)
+        schema.add_index(index_schema)
+        return self._register_index(index_schema, self.table(table_name))
+
+    def _register_index(self, index_schema: IndexSchema, table: Table) -> RangeIndex:
+        key = index_schema.name.lower()
+        if key in self._indexes:
+            raise CatalogError(f"index {index_schema.name!r} already exists")
+        index = RangeIndex(index_schema.name, table, index_schema.column)
+        self._indexes[key] = index
+        return index
+
+    # -- access ------------------------------------------------------------
+
+    def table(self, name: str) -> Table:
+        """The stored table, by (case-insensitive) name."""
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"table {name!r} does not exist") from None
+
+    def has_table(self, name: str) -> bool:
+        """Whether a table of this name exists."""
+        return name.lower() in self._tables
+
+    def index(self, name: str) -> RangeIndex:
+        """A registered index, by name."""
+        try:
+            return self._indexes[name.lower()]
+        except KeyError:
+            raise CatalogError(f"index {name!r} does not exist") from None
+
+    def index_for(self, table_name: str, column: str) -> Optional[RangeIndex]:
+        """The range index over ``table.column``, if one exists."""
+        for index in self._indexes.values():
+            if index.table.name.lower() == table_name.lower() and index.column == column:
+                return index
+        return None
+
+    # -- DML ---------------------------------------------------------------
+
+    def insert(self, table_name: str, rows: Any) -> int:
+        """Append rows; refreshes indexes and invalidates statistics."""
+        table = self.table(table_name)
+        count = table.append_rows(rows)
+        for index in self._indexes.values():
+            if index.table is table:
+                index.refresh()
+        # Stored statistics are now stale; callers re-run analyze().
+        self._stats.pop(table_name.lower(), None)
+        return count
+
+    def load(self, table_name: str, columns: Mapping[str, Any]) -> None:
+        """Replace a table's contents wholesale."""
+        table = self.table(table_name)
+        table.replace_data(columns)
+        for index in self._indexes.values():
+            if index.table is table:
+                index.refresh()
+        self._stats.pop(table_name.lower(), None)
+
+    # -- statistics ----------------------------------------------------------
+
+    def analyze(self, table_name: Optional[str] = None, histogram_buckets: int = 32) -> None:
+        """Collect statistics for one table or all tables."""
+        names = [table_name] if table_name else list(self._tables)
+        for name in names:
+            table = self.table(name)
+            column_stats: Dict[str, ColumnStats] = {}
+            for col in table.schema.columns:
+                column_stats[col.name] = ColumnStats.collect(
+                    table.column(col.name), col.data_type, histogram_buckets
+                )
+            self._stats[name.lower()] = TableStats(
+                row_count=table.row_count, columns=column_stats
+            )
+
+    def statistics(self, table_name: str) -> TableStats:
+        """Collected statistics (bare row count before analyze())."""
+        key = table_name.lower()
+        if key not in self._stats:
+            if key not in self._tables:
+                raise CatalogError(f"table {table_name!r} does not exist")
+            # Fall back to a bare row count when analyze() has not run.
+            return TableStats(row_count=self.table(table_name).row_count)
+        return self._stats[key]
+
+    def has_statistics(self, table_name: str) -> bool:
+        """Whether analyze() has run for this table."""
+        return table_name.lower() in self._stats

@@ -1,0 +1,115 @@
+"""Work tables: spool targets and delta tables.
+
+The paper's spool operator materializes a CSE's result into an internal work
+table that consumers then read sequentially (§4.3.2, §5.2). A
+:class:`WorkTable` is that internal table: a bag of rows with named, typed
+columns but no catalog presence.
+
+Delta tables for view maintenance (§6.4) are work tables tagged with the base
+table whose update they capture; the CSE machinery treats them "as a special
+table when generating table signatures" — we give them a distinguishable
+signature name ``delta(<base>)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..errors import StorageError
+from ..types import DataType, coerce_column
+
+
+class WorkTable:
+    """A materialized intermediate result."""
+
+    def __init__(
+        self,
+        name: str,
+        column_names: Sequence[str],
+        column_types: Sequence[DataType],
+        columns: Optional[Mapping[str, np.ndarray]] = None,
+        delta_of: Optional[str] = None,
+    ) -> None:
+        if len(column_names) != len(column_types):
+            raise StorageError("column names/types length mismatch")
+        if len(set(column_names)) != len(column_names):
+            raise StorageError(f"duplicate column names in work table {name!r}")
+        self.name = name
+        self.column_names: List[str] = list(column_names)
+        self.column_types: List[DataType] = list(column_types)
+        self.delta_of = delta_of
+        self._columns: Dict[str, np.ndarray] = {}
+        if columns is not None:
+            self.load(columns)
+        else:
+            for col_name, col_type in zip(self.column_names, self.column_types):
+                self._columns[col_name] = np.empty(0, dtype=col_type.numpy_dtype)
+
+    @property
+    def signature_name(self) -> str:
+        """Name used when this table participates in table signatures."""
+        if self.delta_of is not None:
+            return f"delta({self.delta_of})"
+        return self.name
+
+    def load(self, columns: Mapping[str, np.ndarray]) -> None:
+        """Replace the work table's columns (validates names/lengths)."""
+        if set(columns) != set(self.column_names):
+            raise StorageError(
+                f"work table {self.name!r}: expected columns "
+                f"{self.column_names}, got {sorted(columns)}"
+            )
+        length: Optional[int] = None
+        loaded: Dict[str, np.ndarray] = {}
+        for col_name, col_type in zip(self.column_names, self.column_types):
+            data = coerce_column(columns[col_name], col_type)
+            if length is None:
+                length = len(data)
+            elif len(data) != length:
+                raise StorageError(
+                    f"work table {self.name!r}: ragged column {col_name!r}"
+                )
+            loaded[col_name] = data
+        self._columns = loaded
+
+    @property
+    def row_count(self) -> int:
+        """Number of materialized rows."""
+        first = next(iter(self._columns.values()), None)
+        return 0 if first is None else len(first)
+
+    def __len__(self) -> int:
+        return self.row_count
+
+    def column(self, name: str) -> np.ndarray:
+        """One column, by name."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise StorageError(
+                f"work table {self.name!r} has no column {name!r}"
+            ) from None
+
+    def column_type(self, name: str) -> DataType:
+        """The declared type of one column."""
+        try:
+            position = self.column_names.index(name)
+        except ValueError:
+            raise StorageError(
+                f"work table {self.name!r} has no column {name!r}"
+            ) from None
+        return self.column_types[position]
+
+    def columns(self) -> Dict[str, np.ndarray]:
+        """A shallow copy of the column mapping."""
+        return dict(self._columns)
+
+    def row_width(self) -> int:
+        """Row width in bytes (sum of column type widths)."""
+        return sum(t.byte_width for t in self.column_types)
+
+    def size_bytes(self) -> int:
+        """Total size in bytes."""
+        return self.row_count * self.row_width()

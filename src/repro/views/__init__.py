@@ -1,0 +1,11 @@
+"""Materialized views and their joint maintenance (paper §6.4)."""
+
+from .materialized import MaterializedView, ViewManager
+from .maintenance import MaintenancePlanner, MaintenanceOutcome
+
+__all__ = [
+    "MaterializedView",
+    "ViewManager",
+    "MaintenancePlanner",
+    "MaintenanceOutcome",
+]

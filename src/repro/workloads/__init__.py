@@ -1,0 +1,29 @@
+"""Workloads: the paper's experiment queries and generators."""
+
+from .example1 import (
+    EXAMPLE1_BATCH_SQL,
+    EXAMPLE1_QUERIES,
+    Q4_SQL,
+    NESTED_QUERY_SQL,
+    example1_batch,
+    example1_with_q4,
+    nested_query,
+)
+from .generator import complex_join_batch, scaleup_batch
+from .tpch_queries import ADAPTED_QUERIES, SHARING_PAIRS, adapted_batch, adapted_query
+
+__all__ = [
+    "EXAMPLE1_BATCH_SQL",
+    "EXAMPLE1_QUERIES",
+    "Q4_SQL",
+    "NESTED_QUERY_SQL",
+    "example1_batch",
+    "example1_with_q4",
+    "nested_query",
+    "complex_join_batch",
+    "scaleup_batch",
+    "ADAPTED_QUERIES",
+    "SHARING_PAIRS",
+    "adapted_batch",
+    "adapted_query",
+]

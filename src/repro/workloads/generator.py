@@ -1,0 +1,108 @@
+"""Parameterized workload generators for the scale-up experiments (§6.5).
+
+* :func:`scaleup_batch` — batches of 2..N queries, each joining
+  customer ⋈ orders ⋈ lineitem with per-query local predicates and grouping
+  columns, optionally joining ``nation``/``region`` (Figure 8).
+* :func:`complex_join_batch` — two queries joining all eight TPC-H tables
+  with different local predicates, aggregating by region (Table 4).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+_GROUPINGS = [
+    "c_nationkey",
+    "c_mktsegment",
+    "c_nationkey, c_mktsegment",
+    "o_orderpriority",
+    "o_orderstatus",
+]
+
+#: groupings that require joining nation (and region) as well.
+_EXTENDED_GROUPINGS = [
+    ("n_regionkey", "nation", "c_nationkey = n_nationkey"),
+    (
+        "r_name",
+        "nation, region",
+        "c_nationkey = n_nationkey and n_regionkey = r_regionkey",
+    ),
+]
+
+
+def scaleup_batch(query_count: int, seed: int = 7) -> str:
+    """A batch of ``query_count`` similar queries over C ⋈ O ⋈ L.
+
+    Mirrors §6.5: each query joins lineitem, orders, and customer, with
+    different local predicates and grouping columns; some also join nation
+    and region. Deterministic for a given seed.
+    """
+    if query_count < 1:
+        raise ValueError("query_count must be positive")
+    rng = random.Random(seed)
+    queries: List[str] = []
+    for index in range(query_count):
+        date_cut = f"199{rng.randint(3, 7)}-0{rng.randint(1, 6)}-01"
+        low = rng.randint(0, 6)
+        high = rng.randint(18, 25)
+        if index % 3 == 2:
+            grouping, extra_tables, extra_join = _EXTENDED_GROUPINGS[
+                rng.randrange(len(_EXTENDED_GROUPINGS))
+            ]
+            queries.append(
+                f"select {grouping}, sum(l_extendedprice) as le, "
+                f"sum(l_quantity) as lq\n"
+                f"from customer, orders, lineitem, {extra_tables}\n"
+                f"where c_custkey = o_custkey and o_orderkey = l_orderkey\n"
+                f"  and {extra_join}\n"
+                f"  and o_orderdate < '{date_cut}'\n"
+                f"  and c_nationkey > {low} and c_nationkey < {high}\n"
+                f"group by {grouping}"
+            )
+        else:
+            grouping = _GROUPINGS[rng.randrange(len(_GROUPINGS))]
+            queries.append(
+                f"select {grouping}, sum(l_extendedprice) as le, "
+                f"sum(l_quantity) as lq\n"
+                f"from customer, orders, lineitem\n"
+                f"where c_custkey = o_custkey and o_orderkey = l_orderkey\n"
+                f"  and o_orderdate < '{date_cut}'\n"
+                f"  and c_nationkey > {low} and c_nationkey < {high}\n"
+                f"group by {grouping}"
+            )
+    return ";\n".join(queries)
+
+
+_EIGHT_TABLE_TEMPLATE = """
+select r_name, sum(l_extendedprice) as revenue, sum(ps_supplycost) as cost
+from region, nation, customer, orders, lineitem, supplier, partsupp, part
+where c_custkey = o_custkey and o_orderkey = l_orderkey
+  and c_nationkey = n_nationkey and n_regionkey = r_regionkey
+  and l_suppkey = s_suppkey
+  and l_partkey = ps_partkey and s_suppkey = ps_suppkey
+  and ps_partkey = p_partkey
+  and o_orderdate < '{date_cut}'
+  and c_nationkey > {low} and c_nationkey < {high}
+  and p_size < {size}
+group by r_name
+""".strip()
+
+
+def complex_join_batch(seed: int = 11) -> str:
+    """Two queries joining all eight TPC-H tables, aggregated by region,
+    with different local predicates (Table 4)."""
+    rng = random.Random(seed)
+    first = _EIGHT_TABLE_TEMPLATE.format(
+        date_cut="1996-07-01",
+        low=rng.randint(0, 3),
+        high=rng.randint(20, 25),
+        size=rng.randint(25, 40),
+    )
+    second = _EIGHT_TABLE_TEMPLATE.format(
+        date_cut="1995-03-15",
+        low=rng.randint(2, 6),
+        high=rng.randint(18, 23),
+        size=rng.randint(30, 50),
+    )
+    return first + ";\n" + second

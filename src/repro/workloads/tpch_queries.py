@@ -1,0 +1,138 @@
+"""Adapted TPC-H queries.
+
+The classic TPC-H read-only queries, adapted to this engine's SQL subset
+(inner equijoins, SPJG, scalar subqueries; no LIKE/EXISTS/outer joins) and
+to the generator's schema (see ``repro.catalog.tpch``). They serve as a
+realistic optimizer/executor workload beyond the paper's experiments, and
+several pairs share subexpressions when run as batches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: Q1 — pricing summary report (lineitem scan + wide aggregation).
+TPCH_Q1 = """
+select l_returnflag,
+       sum(l_quantity) as sum_qty,
+       sum(l_extendedprice) as sum_base_price,
+       avg(l_quantity) as avg_qty,
+       avg(l_extendedprice) as avg_price,
+       avg(l_discount) as avg_disc,
+       count(*) as count_order
+from lineitem
+where l_shipdate <= '1998-09-02'
+group by l_returnflag
+order by l_returnflag
+"""
+
+#: Q3 — shipping priority (3-way join, selective segment filter).
+TPCH_Q3 = """
+select o_orderpriority,
+       sum(l_extendedprice) as revenue
+from customer, orders, lineitem
+where c_mktsegment = 'BUILDING'
+  and c_custkey = o_custkey
+  and l_orderkey = o_orderkey
+  and o_orderdate < '1995-03-15'
+group by o_orderpriority
+order by revenue desc
+"""
+
+#: Q5 — local supplier volume (6-way join through nation/region).
+TPCH_Q5 = """
+select n_name, sum(l_extendedprice) as revenue
+from customer, orders, lineitem, supplier, nation, region
+where c_custkey = o_custkey
+  and l_orderkey = o_orderkey
+  and l_suppkey = s_suppkey
+  and c_nationkey = s_nationkey
+  and s_nationkey = n_nationkey
+  and n_regionkey = r_regionkey
+  and r_name = 'ASIA'
+  and o_orderdate >= '1994-01-01' and o_orderdate < '1995-01-01'
+group by n_name
+order by revenue desc
+"""
+
+#: Q6 — forecasting revenue change (scalar aggregate, range filters).
+TPCH_Q6 = """
+select sum(l_extendedprice) as revenue
+from lineitem
+where l_shipdate >= '1994-01-01' and l_shipdate < '1995-01-01'
+  and l_discount between 0.05 and 0.07
+  and l_quantity < 24
+"""
+
+#: Q10 — returned item reporting (grouped by nation instead of customer).
+TPCH_Q10 = """
+select n_name, sum(l_extendedprice) as revenue
+from customer, orders, lineitem, nation
+where c_custkey = o_custkey
+  and l_orderkey = o_orderkey
+  and o_orderdate >= '1993-10-01' and o_orderdate < '1994-01-01'
+  and l_returnflag = 'R'
+  and c_nationkey = n_nationkey
+group by n_name
+order by revenue desc
+"""
+
+#: Q12 — shipping modes adapted to order priorities (2-way join).
+TPCH_Q12 = """
+select o_orderpriority, count(*) as line_count
+from orders, lineitem
+where o_orderkey = l_orderkey
+  and l_shipdate >= '1994-01-01' and l_shipdate < '1995-01-01'
+group by o_orderpriority
+order by o_orderpriority
+"""
+
+#: Q14 — promotion effect adapted (part ⋈ lineitem, grouped by size band).
+TPCH_Q14 = """
+select p_size, sum(l_extendedprice) as revenue
+from lineitem, part
+where l_partkey = p_partkey
+  and l_shipdate >= '1995-09-01' and l_shipdate < '1995-10-01'
+group by p_size
+"""
+
+#: Q19 — discounted revenue (disjunctive predicates).
+TPCH_Q19 = """
+select sum(l_extendedprice) as revenue
+from lineitem, part
+where p_partkey = l_partkey
+  and ((p_size between 1 and 5 and l_quantity between 1 and 11)
+    or (p_size between 6 and 15 and l_quantity between 10 and 20))
+"""
+
+#: Q11-like nested query — see repro.workloads.example1.NESTED_QUERY_SQL.
+
+ADAPTED_QUERIES: Dict[str, str] = {
+    "Q1": TPCH_Q1.strip(),
+    "Q3": TPCH_Q3.strip(),
+    "Q5": TPCH_Q5.strip(),
+    "Q6": TPCH_Q6.strip(),
+    "Q10": TPCH_Q10.strip(),
+    "Q12": TPCH_Q12.strip(),
+    "Q14": TPCH_Q14.strip(),
+    "Q19": TPCH_Q19.strip(),
+}
+
+
+def adapted_query(name: str) -> str:
+    """One adapted TPC-H query by its classic number (e.g. ``"Q5"``)."""
+    return ADAPTED_QUERIES[name]
+
+
+def adapted_batch(*names: str) -> str:
+    """A batch of adapted queries (default: all of them)."""
+    selected: List[str] = list(names) if names else list(ADAPTED_QUERIES)
+    return ";\n".join(ADAPTED_QUERIES[name] for name in selected)
+
+
+#: Pairs that share subexpressions when batched (used by tests/benches).
+SHARING_PAIRS = [
+    ("Q3", "Q10"),   # both join customer ⋈ orders ⋈ lineitem
+    ("Q14", "Q19"),  # both join lineitem ⋈ part
+    ("Q12", "Q3"),   # orders ⋈ lineitem inside both
+]

@@ -1,0 +1,48 @@
+"""Shared fixtures: small TPC-H databases and sessions.
+
+The tiny scale factor keeps every test fast while preserving the TPC-H
+cardinality ratios the optimizer's decisions depend on. Databases are built
+once per session and shared; tests that mutate data build their own.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import OptimizerOptions, Session
+from repro.catalog.tpch import build_tpch_database
+
+TINY_SF = 0.001
+SMALL_SF = 0.002
+
+
+@pytest.fixture(scope="session")
+def tiny_db():
+    """A shared, read-only TPC-H database at SF=0.001."""
+    return build_tpch_database(scale_factor=TINY_SF)
+
+
+@pytest.fixture(scope="session")
+def small_db():
+    """A shared, read-only TPC-H database at SF=0.002."""
+    return build_tpch_database(scale_factor=SMALL_SF)
+
+
+@pytest.fixture()
+def tiny_session(tiny_db):
+    return Session(tiny_db, OptimizerOptions())
+
+
+@pytest.fixture()
+def small_session(small_db):
+    return Session(small_db, OptimizerOptions())
+
+
+@pytest.fixture()
+def no_cse_session(small_db):
+    return Session(small_db, OptimizerOptions(enable_cse=False))
+
+
+@pytest.fixture()
+def no_heuristics_session(small_db):
+    return Session(small_db, OptimizerOptions(enable_heuristics=False))

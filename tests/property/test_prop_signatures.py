@@ -1,0 +1,116 @@
+"""Property-based tests for table signatures (Figure 2's algebra).
+
+The key invariant: composing Figure 2's rules incrementally over any
+SPJG-shaped operator tree yields exactly the signature of the whole tree —
+the property that lets the optimizer maintain signatures per memo group.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.cse.signature import TableSignature, signature_of_tree
+from repro.expr.expressions import (
+    AggExpr,
+    AggFunc,
+    ColumnRef,
+    Literal,
+    TableRef,
+    eq,
+    gt,
+)
+from repro.logical.operators import Get, GroupBy, Join, Project, Select
+from repro.types import DataType
+
+TABLE_NAMES = ["A", "B", "C", "D"]
+
+_instance_counter = [0]
+
+
+def fresh_table(name):
+    _instance_counter[0] += 1
+    return TableRef(name, _instance_counter[0])
+
+
+def col(tref, name="x"):
+    return ColumnRef(tref, name, DataType.INT)
+
+
+@st.composite
+def spj_trees(draw, depth=0):
+    """Random SPJ trees (no group-by); returns (tree, table multiset)."""
+    if depth >= 3 or draw(st.booleans()):
+        name = draw(st.sampled_from(TABLE_NAMES))
+        tref = fresh_table(name)
+        tree = Get(tref)
+        tables = [name]
+    else:
+        left, left_tables = draw(spj_trees(depth=depth + 1))
+        right, right_tables = draw(spj_trees(depth=depth + 1))
+        tree = Join(None, left, right)
+        tables = left_tables + right_tables
+    # Optional select / project wrappers.
+    if draw(st.booleans()):
+        some_table = next(
+            node.table_ref for node in tree.walk() if isinstance(node, Get)
+        )
+        tree = Select(gt(col(some_table), Literal(draw(st.integers(0, 9)))), tree)
+    if draw(st.booleans()):
+        some_table = next(
+            node.table_ref for node in tree.walk() if isinstance(node, Get)
+        )
+        tree = Project((col(some_table),), tree)
+    return tree, tables
+
+
+class TestSignatureProperties:
+    @given(spj_trees())
+    @settings(max_examples=100, deadline=None)
+    def test_spj_signature_is_table_multiset(self, tree_tables):
+        tree, tables = tree_tables
+        signature = signature_of_tree(tree)
+        assert signature == TableSignature(False, tuple(tables))
+
+    @given(spj_trees())
+    @settings(max_examples=100, deadline=None)
+    def test_groupby_sets_flag_keeps_tables(self, tree_tables):
+        tree, tables = tree_tables
+        some_table = next(
+            node.table_ref for node in tree.walk() if isinstance(node, Get)
+        )
+        grouped = GroupBy(
+            (col(some_table),), (AggExpr(AggFunc.COUNT, None),), tree
+        )
+        signature = signature_of_tree(grouped)
+        assert signature == TableSignature(True, tuple(tables))
+
+    @given(spj_trees(), spj_trees())
+    @settings(max_examples=100, deadline=None)
+    def test_join_rule_is_compositional(self, left_pair, right_pair):
+        left, _ = left_pair
+        right, _ = right_pair
+        whole = signature_of_tree(Join(None, left, right))
+        composed = signature_of_tree(left).joined_with(signature_of_tree(right))
+        assert whole == composed
+
+    @given(spj_trees())
+    @settings(max_examples=100, deadline=None)
+    def test_select_above_groupby_never_signed(self, tree_tables):
+        tree, _ = tree_tables
+        some_table = next(
+            node.table_ref for node in tree.walk() if isinstance(node, Get)
+        )
+        grouped = GroupBy((col(some_table),), (), tree)
+        filtered = Select(gt(col(some_table), Literal(1)), grouped)
+        assert signature_of_tree(filtered) is None
+
+    @given(spj_trees(), spj_trees())
+    @settings(max_examples=50, deadline=None)
+    def test_different_multisets_different_signatures(self, first, second):
+        tree1, tables1 = first
+        tree2, tables2 = second
+        sig1 = signature_of_tree(tree1)
+        sig2 = signature_of_tree(tree2)
+        if sorted(tables1) != sorted(tables2):
+            assert sig1 != sig2
+        else:
+            assert sig1 == sig2

@@ -1,0 +1,148 @@
+"""Unit tests for aggregate decomposition (repro.optimizer.aggs)."""
+
+import pytest
+
+from repro.errors import OptimizerError
+from repro.expr.expressions import (
+    AggExpr,
+    AggFunc,
+    Arithmetic,
+    ArithmeticOp,
+    ColumnRef,
+    TableRef,
+)
+from repro.optimizer.aggs import (
+    COUNT_STAR,
+    combine_computes,
+    decomposable_over,
+    direct_computes,
+    partial_computes,
+    reaggregate_computes,
+)
+from repro.types import DataType
+
+L = TableRef("lineitem", 1)
+P = TableRef("part", 2)
+INSIDE = frozenset([L])
+
+
+def lcol(name):
+    return ColumnRef(L, name, DataType.FLOAT)
+
+
+def pcol(name):
+    return ColumnRef(P, name, DataType.FLOAT)
+
+
+SUM_IN = AggExpr(AggFunc.SUM, lcol("price"))
+SUM_OUT = AggExpr(AggFunc.SUM, pcol("qty"))
+MIN_IN = AggExpr(AggFunc.MIN, lcol("price"))
+MAX_OUT = AggExpr(AggFunc.MAX, pcol("qty"))
+
+
+class TestDirect:
+    def test_direct_computes(self):
+        computes = direct_computes([SUM_IN, COUNT_STAR])
+        assert computes[0].out == SUM_IN and computes[0].func is AggFunc.SUM
+        assert computes[1].arg is None
+
+
+class TestDecomposability:
+    def test_inside_and_outside_ok(self):
+        assert decomposable_over([SUM_IN, SUM_OUT, COUNT_STAR], INSIDE)
+
+    def test_mixed_argument_not_decomposable(self):
+        mixed = AggExpr(
+            AggFunc.SUM, Arithmetic(ArithmeticOp.MUL, lcol("price"), pcol("qty"))
+        )
+        assert not decomposable_over([mixed], INSIDE)
+
+
+class TestPartials:
+    def test_inside_sum(self):
+        partials = partial_computes([SUM_IN], INSIDE)
+        assert len(partials) == 1
+        assert partials[0].out == SUM_IN
+        assert partials[0].func is AggFunc.SUM
+
+    def test_outside_sum_needs_count(self):
+        partials = partial_computes([SUM_OUT], INSIDE)
+        assert len(partials) == 1
+        assert partials[0].out == COUNT_STAR
+        assert partials[0].func is AggFunc.COUNT
+
+    def test_count_star_needs_count(self):
+        partials = partial_computes([COUNT_STAR], INSIDE)
+        assert partials == partial_computes([SUM_OUT], INSIDE)
+
+    def test_outside_min_needs_nothing(self):
+        assert partial_computes([MAX_OUT], INSIDE) == ()
+
+    def test_mixed_set(self):
+        partials = partial_computes([SUM_IN, SUM_OUT, MIN_IN], INSIDE)
+        outs = {p.out for p in partials}
+        assert outs == {SUM_IN, MIN_IN, COUNT_STAR}
+
+    def test_dedup(self):
+        partials = partial_computes([SUM_IN, SUM_IN], INSIDE)
+        assert len(partials) == 1
+
+
+class TestCombine:
+    def test_inside_sum_combines_with_sum(self):
+        combine = combine_computes([SUM_IN], INSIDE)[0]
+        assert combine.out == SUM_IN
+        assert combine.func is AggFunc.SUM
+        assert combine.arg == SUM_IN  # the partial's frame key
+
+    def test_inside_min(self):
+        combine = combine_computes([MIN_IN], INSIDE)[0]
+        assert combine.func is AggFunc.MIN and combine.arg == MIN_IN
+
+    def test_outside_sum_scales_by_count(self):
+        combine = combine_computes([SUM_OUT], INSIDE)[0]
+        assert combine.func is AggFunc.SUM
+        assert combine.arg == Arithmetic(
+            ArithmeticOp.MUL, pcol("qty"), COUNT_STAR
+        )
+
+    def test_outside_max_ignores_duplicates(self):
+        combine = combine_computes([MAX_OUT], INSIDE)[0]
+        assert combine.func is AggFunc.MAX and combine.arg == pcol("qty")
+
+    def test_count_star_combines_with_sum_of_counts(self):
+        combine = combine_computes([COUNT_STAR], INSIDE)[0]
+        assert combine.out == COUNT_STAR
+        assert combine.func is AggFunc.SUM and combine.arg == COUNT_STAR
+
+
+class TestReaggregate:
+    def test_sum_and_count(self):
+        computes = reaggregate_computes([SUM_IN, COUNT_STAR])
+        assert all(c.func is AggFunc.SUM for c in computes)
+        assert computes[0].arg == SUM_IN
+
+    def test_min_max(self):
+        computes = reaggregate_computes([MIN_IN, MAX_OUT])
+        assert computes[0].func is AggFunc.MIN
+        assert computes[1].func is AggFunc.MAX
+
+    def test_avg_rejected(self):
+        with pytest.raises(OptimizerError):
+            reaggregate_computes([AggExpr(AggFunc.AVG, lcol("price"))])
+
+
+class TestNumericEquivalence:
+    """Decomposed evaluation must equal one-shot evaluation on real data."""
+
+    def test_sum_outside_scaling(self):
+        # Join rows: part side value y, lineitem groups with counts.
+        # final SUM(y) over join == SUM(y * cnt) over pre-aggregated rows.
+        rows = [  # (group, y)
+            ("g1", 10.0), ("g1", 10.0), ("g1", 10.0),  # cnt = 3
+            ("g2", 7.0),  # cnt = 1
+        ]
+        final = sum(y for _, y in rows)
+        pre = {"g1": 3, "g2": 1}
+        combined = 10.0 * pre["g1"] + 7.0 * pre["g2"]
+        assert final == combined

@@ -1,0 +1,88 @@
+"""Tests for the public Session API."""
+
+import pytest
+
+from repro import (
+    CostModel,
+    ExecutionOutcome,
+    OptimizerOptions,
+    ReproError,
+    Session,
+)
+from repro.logical.blocks import BoundBatch
+
+
+class TestSessionBasics:
+    def test_tpch_constructor(self):
+        session = Session.tpch(scale_factor=0.0005)
+        assert session.database.table("lineitem").row_count > 0
+
+    def test_bind_names(self, small_session):
+        batch = small_session.bind(
+            "select r_name from region; select n_name from nation",
+            names=["first", "second"],
+        )
+        assert [q.name for q in batch.queries] == ["first", "second"]
+
+    def test_default_names(self, small_session):
+        batch = small_session.bind("select r_name from region")
+        assert batch.queries[0].name == "Q1"
+
+    def test_execute_returns_outcome(self, small_session):
+        outcome = small_session.execute("select r_name from region")
+        assert isinstance(outcome, ExecutionOutcome)
+        assert outcome.est_cost > 0
+        assert outcome.measured_cost > 0
+        rows = outcome.execution.results[0].rows
+        assert len(rows) == 5
+
+    def test_optimize_accepts_bound_batch(self, small_session):
+        batch = small_session.bind("select r_name from region")
+        result = small_session.optimize(batch)
+        assert result.bundle.queries[0].name == "Q1"
+
+    def test_optimize_accepts_bound_query(self, small_session):
+        batch = small_session.bind("select r_name from region")
+        result = small_session.optimize(batch.queries[0])
+        assert result.est_cost > 0
+
+    def test_optimize_rejects_nonsense(self, small_session):
+        with pytest.raises(ReproError):
+            small_session.optimize(42)  # type: ignore[arg-type]
+
+    def test_execute_bundle_reuses_plans(self, small_session):
+        result = small_session.optimize("select r_name from region")
+        execution = small_session.execute_bundle(result)
+        assert execution.results[0].row_count == 5
+
+    def test_explain_mentions_costs_and_plan(self, small_session):
+        text = small_session.explain(
+            "select c_nationkey, sum(c_acctbal) as t from customer "
+            "group by c_nationkey"
+        )
+        assert "estimated cost" in text
+        assert "HashAgg" in text
+        assert "Scan customer" in text
+
+    def test_explain_shows_spools(self, small_session):
+        from repro.workloads import example1_batch
+
+        text = small_session.explain(example1_batch())
+        assert "Spool" in text
+        assert "SpoolRead" in text
+
+    def test_custom_cost_model(self, small_db):
+        expensive_io = Session(
+            small_db, cost_model=CostModel(io_page=100.0)
+        ).optimize("select c_name from customer")
+        cheap_io = Session(
+            small_db, cost_model=CostModel(io_page=0.01)
+        ).optimize("select c_name from customer")
+        assert expensive_io.est_cost > cheap_io.est_cost
+
+    def test_options_respected(self, small_db):
+        from repro.workloads import example1_batch
+
+        session = Session(small_db, OptimizerOptions(enable_cse=False))
+        result = session.optimize(example1_batch())
+        assert result.stats.candidates_generated == 0

@@ -1,0 +1,187 @@
+"""Unit tests for join compatibility (paper §4.1, Definition 4.1).
+
+Uses hand-built memos over TPC-H blocks plus the paper's Examples 2 and 3.
+"""
+
+import pytest
+
+from repro.cse.compatibility import (
+    compatibility_groups,
+    consumer_slot_classes,
+    derive_compatibility_from_parts,
+    join_compatible,
+    join_compatible_classes,
+    slot_assignment,
+    slot_classes,
+)
+from repro.expr.expressions import ColumnRef, TableRef, eq
+from repro.expr.predicates import EquivalenceClasses
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.memo import Memo
+from repro.optimizer.options import OptimizerOptions
+from repro.sql.binder import bind_batch
+from repro.types import DataType
+
+R1 = TableRef("R", 1)
+S1 = TableRef("S", 2)
+R2 = TableRef("R", 3)
+S2 = TableRef("S", 4)
+
+
+def col(table, name):
+    return ColumnRef(table, name, DataType.INT)
+
+
+def classes_of(*equalities):
+    return EquivalenceClasses.from_conjuncts(list(equalities))
+
+
+class TestSlotMapping:
+    def test_assignment_by_name_and_occurrence(self):
+        assignment = slot_assignment([S1, R1])
+        assert assignment[R1] == ("R", 0)
+        assert assignment[S1] == ("S", 0)
+
+    def test_self_join_occurrences(self):
+        a1, a2 = TableRef("A", 1), TableRef("A", 2)
+        assignment = slot_assignment([a2, a1])
+        assert sorted(assignment.values()) == [("A", 0), ("A", 1)]
+
+    def test_slot_classes(self):
+        classes = slot_classes(
+            frozenset([R1, S1]),
+            [frozenset([col(R1, "a"), col(S1, "d")])],
+        )
+        assert classes.same_class(("R", 0, "a"), ("S", 0, "d"))
+
+
+class TestExample2:
+    """Paper Example 2, verbatim."""
+
+    def _expr1(self, r, s):
+        # R ⋈(R.a=S.d ∧ R.b=S.e) S
+        return slot_classes(
+            frozenset([r, s]),
+            [
+                frozenset([col(r, "a"), col(s, "d")]),
+                frozenset([col(r, "b"), col(s, "e")]),
+            ],
+        )
+
+    def _expr2(self, r, s):
+        # R ⋈(R.a=S.d ∧ R.c=S.f) S
+        return slot_classes(
+            frozenset([r, s]),
+            [
+                frozenset([col(r, "a"), col(s, "d")]),
+                frozenset([col(r, "c"), col(s, "f")]),
+            ],
+        )
+
+    def _expr3(self, r, s):
+        # R ⋈(R.c=S.f) S only
+        return slot_classes(
+            frozenset([r, s]), [frozenset([col(r, "c"), col(s, "f")])]
+        )
+
+    def test_compatible_pair(self):
+        slots = {("R", 0), ("S", 0)}
+        ok, intersection = join_compatible_classes(
+            [self._expr1(R1, S1), self._expr2(R2, S2)], slots
+        )
+        assert ok
+        # Intersection is exactly {{R.a, S.d}}.
+        assert len(intersection.classes()) == 1
+
+    def test_incompatible_pair(self):
+        slots = {("R", 0), ("S", 0)}
+        expr1 = self._expr1(R1, S1)  # a=d, b=e
+        expr3 = self._expr3(R2, S2)  # c=f only
+        ok, intersection = join_compatible_classes([expr1, expr3], slots)
+        assert not ok
+        assert len(intersection.classes()) == 0
+
+
+class TestDerivation:
+    """Paper Example 3: deriving compatibility from subexpressions."""
+
+    def test_connected_parts_prove_compatibility(self):
+        all_slots = {("R", 0), ("S", 0), ("T", 0)}
+        parts = [
+            ({("R", 0), ("S", 0)}, True),
+            ({("S", 0), ("T", 0)}, True),
+        ]
+        assert derive_compatibility_from_parts(parts, all_slots)
+
+    def test_disconnected_parts_are_inconclusive(self):
+        all_slots = {("R", 0), ("S", 0), ("T", 0), ("U", 0)}
+        parts = [
+            ({("R", 0), ("S", 0)}, True),
+            ({("T", 0), ("U", 0)}, True),
+        ]
+        assert not derive_compatibility_from_parts(parts, all_slots)
+
+    def test_incompatible_part_ignored(self):
+        all_slots = {("R", 0), ("S", 0), ("T", 0)}
+        parts = [
+            ({("R", 0), ("S", 0)}, True),
+            ({("S", 0), ("T", 0)}, False),
+        ]
+        assert not derive_compatibility_from_parts(parts, all_slots)
+
+    def test_uncovered_slots_inconclusive(self):
+        all_slots = {("R", 0), ("S", 0), ("T", 0)}
+        parts = [({("R", 0), ("S", 0)}, True)]
+        assert not derive_compatibility_from_parts(parts, all_slots)
+
+
+class TestOnRealBlocks:
+    @pytest.fixture()
+    def two_query_memo(self, tiny_db):
+        sql = (
+            "select c_nationkey, sum(l_extendedprice) as v "
+            "from customer, orders, lineitem "
+            "where c_custkey = o_custkey and o_orderkey = l_orderkey "
+            "group by c_nationkey;"
+            "select c_mktsegment, sum(l_quantity) as v "
+            "from customer, orders, lineitem "
+            "where c_custkey = o_custkey and o_orderkey = l_orderkey "
+            "group by c_mktsegment"
+        )
+        memo = Memo(CardinalityEstimator(tiny_db), OptimizerOptions())
+        batch = bind_batch(tiny_db.catalog, sql)
+        tops = [memo.build_block(q.block, q.name) for q in batch.queries]
+        memo.build_root(tops)
+        return memo, tops
+
+    def test_same_joins_compatible(self, two_query_memo):
+        memo, tops = two_query_memo
+        assert join_compatible(
+            tops[0], tops[1],
+            memo.block_infos[tops[0].block.name],
+            memo.block_infos[tops[1].block.name],
+        )
+
+    def test_different_table_sets_incompatible(self, two_query_memo):
+        memo, tops = two_query_memo
+        smaller = [
+            g for g in memo.groups
+            if g.kind == "join" and len(g.items) == 2
+            and g.block.name == tops[0].block.name
+        ][0]
+        assert not join_compatible(
+            tops[0], smaller,
+            memo.block_infos[tops[0].block.name],
+            memo.block_infos[smaller.block.name],
+        )
+
+    def test_compatibility_groups_partition(self, two_query_memo):
+        memo, tops = two_query_memo
+        clusters = compatibility_groups(list(tops), memo.block_infos)
+        assert len(clusters) == 1 and len(clusters[0]) == 2
+
+    def test_overlapping_instances_not_clustered(self, two_query_memo):
+        memo, tops = two_query_memo
+        # A group cannot share a CSE with itself (same instances).
+        clusters = compatibility_groups([tops[0], tops[0]], memo.block_infos)
+        assert clusters == []

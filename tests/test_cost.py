@@ -1,0 +1,102 @@
+"""Tests for the cost model: positivity, monotonicity, spool economics."""
+
+import pytest
+
+from repro.optimizer.cost import PAGE_BYTES, CostModel
+
+
+@pytest.fixture()
+def model():
+    return CostModel()
+
+
+class TestScans:
+    def test_scan_grows_with_rows(self, model):
+        assert model.scan(1000, 100, 0) < model.scan(10_000, 100, 0)
+
+    def test_scan_grows_with_width(self, model):
+        assert model.scan(1000, 8, 0) < model.scan(1000, 200, 0)
+
+    def test_predicates_cost_cpu(self, model):
+        assert model.scan(1000, 100, 0) < model.scan(1000, 100, 3)
+
+    def test_index_beats_scan_when_selective(self, model):
+        table_rows, width = 100_000, 100
+        full = model.scan(table_rows, width, 1)
+        selective = model.index_scan(100, width, 0)
+        assert selective < full
+
+    def test_index_loses_when_unselective(self, model):
+        table_rows, width = 100_000, 100
+        full = model.scan(table_rows, width, 1)
+        unselective = model.index_scan(90_000, width, 0)
+        assert unselective > full
+
+
+class TestJoinsAndAggregates:
+    def test_hash_join_build_side_matters(self, model):
+        small_build = model.hash_join(100, 10_000, 5000)
+        large_build = model.hash_join(10_000, 100, 5000)
+        assert small_build < large_build
+
+    def test_cross_join_quadratic(self, model):
+        assert model.cross_join(100, 100, 100) < model.cross_join(
+            1000, 1000, 100
+        )
+
+    def test_aggregate_io_free(self, model):
+        assert model.aggregate(1000, 10, 2) > 0
+        assert model.aggregate(1000, 10, 2) < model.aggregate(100_000, 10, 2)
+
+    def test_sort_superlinear(self, model):
+        per_row_small = model.sort(1_000) / 1_000
+        per_row_large = model.sort(1_000_000) / 1_000_000
+        assert per_row_large > per_row_small
+
+    def test_filter_project(self, model):
+        assert model.filter(1000, 2) == pytest.approx(
+            1000 * 2 * model.cpu_predicate
+        )
+        assert model.project(1000, 3) > 0
+
+
+class TestSpoolEconomics:
+    """The quantities §4.3.2/§5.2 reason about."""
+
+    def test_write_more_expensive_than_read(self, model):
+        rows, width = 10_000, 50
+        assert model.spool_write(rows, width) > model.spool_read(rows, width)
+
+    def test_pages(self, model):
+        assert model.pages(8192, 1) == pytest.approx(1.0)
+        assert model.pages(1000, int(PAGE_BYTES)) == pytest.approx(1000.0)
+
+    def test_sharing_breakeven(self, model):
+        """Sharing pays once the per-consumer read beats re-evaluation:
+        C_E + C_W + N*C_R < N*C_E for the N-consumer case."""
+        rows, width = 5_000, 40
+        c_e = model.scan(50_000, 100, 1) + model.hash_join(5_000, 50_000, rows)
+        c_w = model.spool_write(rows, width)
+        c_r = model.spool_read(rows, width)
+        assert c_r < c_e  # reading the narrow spool beats recomputing
+        for consumers in (2, 3, 5):
+            shared = c_e + c_w + consumers * c_r
+            recompute = consumers * c_e
+            assert shared < recompute
+
+    def test_huge_results_kill_sharing(self, model):
+        """Heuristic 2's situation: wide, cheap results are not worth
+        spooling (Example 6's `select *`)."""
+        rows, width = 200_000, 400
+        c_e = model.scan(200_000, 400, 1)  # trivially cheap: one scan
+        c_w = model.spool_write(rows, width)
+        c_r = model.spool_read(rows, width)
+        shared_per_consumer = c_r + (c_e + c_w) / 2
+        assert shared_per_consumer > c_e
+
+
+class TestDeterminism:
+    def test_frozen_and_reproducible(self, model):
+        assert model.scan(123, 45, 1) == CostModel().scan(123, 45, 1)
+        with pytest.raises(Exception):
+            model.io_page = 5.0  # frozen dataclass

@@ -1,0 +1,109 @@
+"""Unit tests for vectorized expression evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.expr.evaluator import evaluate, evaluate_predicate, frame_length
+from repro.expr.expressions import (
+    AggExpr,
+    AggFunc,
+    And,
+    Arithmetic,
+    ArithmeticOp,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Literal,
+    Not,
+    Or,
+    TableRef,
+    eq,
+    gt,
+    lt,
+)
+from repro.types import DataType
+
+T = TableRef("t", 1)
+X = ColumnRef(T, "x", DataType.INT)
+Y = ColumnRef(T, "y", DataType.FLOAT)
+
+
+def frame():
+    return {
+        X: np.array([1, 2, 3, 4], dtype=np.int64),
+        Y: np.array([0.5, 1.5, 2.5, 3.5]),
+    }
+
+
+class TestEvaluate:
+    def test_column_lookup(self):
+        assert evaluate(X, frame()).tolist() == [1, 2, 3, 4]
+
+    def test_missing_column(self):
+        with pytest.raises(ExecutionError):
+            evaluate(ColumnRef(T, "zz", DataType.INT), frame())
+
+    def test_literal_broadcast(self):
+        values = evaluate(Literal(7), frame())
+        assert values.tolist() == [7, 7, 7, 7]
+
+    def test_comparisons(self):
+        assert evaluate(gt(X, Literal(2)), frame()).tolist() == [False, False, True, True]
+        assert evaluate(lt(X, Literal(2)), frame()).tolist() == [True, False, False, False]
+        assert evaluate(eq(X, Literal(3)), frame()).tolist() == [False, False, True, False]
+        ne = Comparison(ComparisonOp.NE, X, Literal(3))
+        assert evaluate(ne, frame()).tolist() == [True, True, False, True]
+        le = Comparison(ComparisonOp.LE, X, Literal(2))
+        assert evaluate(le, frame()).tolist() == [True, True, False, False]
+        ge = Comparison(ComparisonOp.GE, X, Literal(4))
+        assert evaluate(ge, frame()).tolist() == [False, False, False, True]
+
+    def test_boolean_connectives(self):
+        pred = And((gt(X, Literal(1)), lt(X, Literal(4))))
+        assert evaluate(pred, frame()).tolist() == [False, True, True, False]
+        pred = Or((eq(X, Literal(1)), eq(X, Literal(4))))
+        assert evaluate(pred, frame()).tolist() == [True, False, False, True]
+        pred = Not(gt(X, Literal(2)))
+        assert evaluate(pred, frame()).tolist() == [True, True, False, False]
+
+    def test_arithmetic(self):
+        add = Arithmetic(ArithmeticOp.ADD, X, Literal(10))
+        assert evaluate(add, frame()).tolist() == [11, 12, 13, 14]
+        mul = Arithmetic(ArithmeticOp.MUL, X, Y)
+        assert evaluate(mul, frame()).tolist() == [0.5, 3.0, 7.5, 14.0]
+        sub = Arithmetic(ArithmeticOp.SUB, X, Literal(1))
+        assert evaluate(sub, frame()).tolist() == [0, 1, 2, 3]
+        div = Arithmetic(ArithmeticOp.DIV, X, Literal(2))
+        assert evaluate(div, frame()).tolist() == [0.5, 1.0, 1.5, 2.0]
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExecutionError):
+            evaluate(Arithmetic(ArithmeticOp.DIV, X, Literal(0)), frame())
+
+    def test_computed_column_precedence(self):
+        """Frame entries keyed by arbitrary expressions (e.g. spooled partial
+        aggregates) take precedence over structural evaluation."""
+        agg = AggExpr(AggFunc.SUM, X)
+        f = frame()
+        f[agg] = np.array([100, 200, 300, 400], dtype=np.int64)
+        assert evaluate(agg, f).tolist() == [100, 200, 300, 400]
+        combined = Arithmetic(ArithmeticOp.ADD, agg, Literal(1))
+        assert evaluate(combined, f).tolist() == [101, 201, 301, 401]
+
+    def test_aggregate_without_frame_entry_raises(self):
+        with pytest.raises(ExecutionError):
+            evaluate(AggExpr(AggFunc.SUM, X), frame())
+
+
+class TestEvaluatePredicate:
+    def test_none_is_all_true(self):
+        assert evaluate_predicate(None, frame()).all()
+
+    def test_mask_type(self):
+        mask = evaluate_predicate(gt(X, Literal(2)), frame())
+        assert mask.dtype == np.bool_
+
+    def test_frame_length(self):
+        assert frame_length(frame()) == 4
+        assert frame_length({}) == 0

@@ -1,0 +1,305 @@
+"""Executor tests: operator semantics and full-bundle execution vs oracle."""
+
+import numpy as np
+import pytest
+
+from repro import OptimizerOptions, Session
+from repro.errors import ExecutionError
+from repro.executor.executor import Executor, bind_scalars
+from repro.executor.iterators import execute_node, materialize_spool
+from repro.executor.reference import evaluate_batch, evaluate_query
+from repro.executor.runtime import ExecutionContext
+from repro.expr.expressions import (
+    AggExpr,
+    AggFunc,
+    ColumnRef,
+    Literal,
+    TableRef,
+    eq,
+    gt,
+    lt,
+)
+from repro.logical.blocks import OutputColumn, ScalarSubquery
+from repro.optimizer.aggs import AggCompute
+from repro.optimizer.physical import (
+    PhysFilter,
+    PhysHashAgg,
+    PhysHashJoin,
+    PhysIndexScan,
+    PhysProject,
+    PhysScan,
+)
+from repro.types import DataType
+
+
+def ctx_for(db):
+    return ExecutionContext(database=db)
+
+
+def cust_ref():
+    return TableRef("customer", 1, alias="c")
+
+
+def ccol(name, dtype=DataType.INT):
+    return ColumnRef(cust_ref(), name, dtype)
+
+
+class TestOperators:
+    def test_scan_outputs_and_filter(self, tiny_db):
+        key = ccol("c_custkey")
+        nation = ccol("c_nationkey")
+        scan = PhysScan(
+            table_ref=cust_ref(),
+            conjuncts=(eq(nation, Literal(3)),),
+            outputs=(key,),
+            est_rows=10,
+        )
+        frame = execute_node(scan, ctx_for(tiny_db))
+        assert set(frame) == {key}
+        expected = np.count_nonzero(
+            tiny_db.table("customer").column("c_nationkey") == 3
+        )
+        assert len(frame[key]) == expected
+
+    def test_scan_filter_column_not_in_outputs(self, tiny_db):
+        # The filter references a column that is not produced.
+        key = ccol("c_custkey")
+        scan = PhysScan(
+            table_ref=cust_ref(),
+            conjuncts=(gt(ccol("c_acctbal", DataType.FLOAT), Literal(0.0)),),
+            outputs=(key,),
+        )
+        frame = execute_node(scan, ctx_for(tiny_db))
+        assert set(frame) == {key}
+
+    def test_index_scan_matches_filter_scan(self, tiny_db):
+        orders = TableRef("orders", 2, alias="o")
+        okey = ColumnRef(orders, "o_orderkey", DataType.INT)
+        odate = ColumnRef(orders, "o_orderdate", DataType.DATE)
+        from repro.types import date_to_int
+
+        cut = date_to_int("1993-01-01")
+        index_scan = PhysIndexScan(
+            table_ref=orders,
+            column=odate,
+            low=None,
+            high=float(cut),
+            low_inclusive=True,
+            high_inclusive=False,
+            residual=(),
+            outputs=(okey,),
+        )
+        plain = PhysScan(
+            table_ref=orders,
+            conjuncts=(lt(odate, Literal(cut, DataType.DATE)),),
+            outputs=(okey,),
+        )
+        via_index = execute_node(index_scan, ctx_for(tiny_db))
+        via_scan = execute_node(plain, ctx_for(tiny_db))
+        assert sorted(via_index[okey].tolist()) == sorted(via_scan[okey].tolist())
+
+    def test_hash_join_and_cross_join(self, tiny_db):
+        nation = TableRef("nation", 3)
+        region = TableRef("region", 4)
+        nkey = ColumnRef(nation, "n_regionkey", DataType.INT)
+        nname = ColumnRef(nation, "n_name", DataType.STRING)
+        rkey = ColumnRef(region, "r_regionkey", DataType.INT)
+        rname = ColumnRef(region, "r_name", DataType.STRING)
+        left = PhysScan(region, (), (rkey, rname), est_rows=5)
+        right = PhysScan(nation, (), (nkey, nname), est_rows=25)
+        join = PhysHashJoin(
+            left=left, right=right, keys=((rkey, nkey),),
+            residual=(), outputs=(rname, nname),
+        )
+        frame = execute_node(join, ctx_for(tiny_db))
+        assert len(frame[nname]) == 25  # every nation matches one region
+        cross = PhysHashJoin(
+            left=left, right=right, keys=(), residual=(),
+            outputs=(rname, nname),
+        )
+        frame = execute_node(cross, ctx_for(tiny_db))
+        assert len(frame[nname]) == 125
+
+    def test_join_residual(self, tiny_db):
+        nation = TableRef("nation", 3)
+        region = TableRef("region", 4)
+        nkey = ColumnRef(nation, "n_regionkey", DataType.INT)
+        rkey = ColumnRef(region, "r_regionkey", DataType.INT)
+        nid = ColumnRef(nation, "n_nationkey", DataType.INT)
+        join = PhysHashJoin(
+            left=PhysScan(region, (), (rkey,)),
+            right=PhysScan(nation, (), (nkey, nid)),
+            keys=((rkey, nkey),),
+            residual=(gt(nid, Literal(10)),),
+            outputs=(nid,),
+        )
+        frame = execute_node(join, ctx_for(tiny_db))
+        assert (frame[nid] > 10).all()
+
+    def test_hash_agg_sums(self, tiny_db):
+        nation = TableRef("nation", 3)
+        nreg = ColumnRef(nation, "n_regionkey", DataType.INT)
+        count = AggExpr(AggFunc.COUNT, None)
+        agg = PhysHashAgg(
+            child=PhysScan(nation, (), (nreg,)),
+            keys=(nreg,),
+            computes=(AggCompute(out=count, func=AggFunc.COUNT, arg=None),),
+        )
+        frame = execute_node(agg, ctx_for(tiny_db))
+        assert int(frame[count].sum()) == 25
+        assert len(frame[nreg]) == 5
+
+    def test_scalar_agg_over_empty_input(self, tiny_db):
+        nation = TableRef("nation", 3)
+        nid = ColumnRef(nation, "n_nationkey", DataType.INT)
+        count = AggExpr(AggFunc.COUNT, None)
+        agg = PhysHashAgg(
+            child=PhysScan(nation, (eq(nid, Literal(-1)),), (nid,)),
+            keys=(),
+            computes=(AggCompute(out=count, func=AggFunc.COUNT, arg=None),),
+        )
+        frame = execute_node(agg, ctx_for(tiny_db))
+        assert frame[count].tolist() == [0]
+
+    def test_min_max_aggregates(self, tiny_db):
+        nation = TableRef("nation", 3)
+        nid = ColumnRef(nation, "n_nationkey", DataType.INT)
+        mn = AggExpr(AggFunc.MIN, nid)
+        mx = AggExpr(AggFunc.MAX, nid)
+        agg = PhysHashAgg(
+            child=PhysScan(nation, (), (nid,)),
+            keys=(),
+            computes=(
+                AggCompute(out=mn, func=AggFunc.MIN, arg=nid),
+                AggCompute(out=mx, func=AggFunc.MAX, arg=nid),
+            ),
+        )
+        frame = execute_node(agg, ctx_for(tiny_db))
+        assert frame[mn].tolist() == [0]
+        assert frame[mx].tolist() == [24]
+
+    def test_filter_node(self, tiny_db):
+        nation = TableRef("nation", 3)
+        nid = ColumnRef(nation, "n_nationkey", DataType.INT)
+        plan = PhysFilter(
+            child=PhysScan(nation, (), (nid,)),
+            conjuncts=(lt(nid, Literal(5)),),
+        )
+        frame = execute_node(plan, ctx_for(tiny_db))
+        assert sorted(frame[nid].tolist()) == [0, 1, 2, 3, 4]
+
+    def test_spool_materialize_and_read(self, tiny_db):
+        nation = TableRef("nation", 3)
+        nid = ColumnRef(nation, "n_nationkey", DataType.INT)
+        body = PhysProject(
+            child=PhysScan(nation, (lt(nid, Literal(3)),), (nid,)),
+            outputs=(OutputColumn("k0", nid),),
+        )
+        ctx = ctx_for(tiny_db)
+        worktable = materialize_spool("E1", body, ctx)
+        assert worktable.row_count == 3
+        assert ctx.metrics.spools_materialized == 1
+        from repro.optimizer.physical import PhysSpoolRead
+
+        ctx.spools["E1"] = worktable
+        read = PhysSpoolRead("E1", (("k0", nid),))
+        frame = execute_node(read, ctx)
+        assert sorted(frame[nid].tolist()) == [0, 1, 2]
+
+    def test_spool_read_before_materialize_fails(self, tiny_db):
+        from repro.optimizer.physical import PhysSpoolRead
+
+        read = PhysSpoolRead("ghost", ())
+        with pytest.raises(ExecutionError):
+            execute_node(read, ctx_for(tiny_db))
+
+
+class TestBindScalars:
+    def test_filter_rebound(self, tiny_db):
+        nation = TableRef("nation", 3)
+        nid = ColumnRef(nation, "n_nationkey", DataType.INT)
+        sub = ScalarSubquery("sq1", DataType.INT)
+        plan = PhysProject(
+            child=PhysFilter(
+                child=PhysScan(nation, (), (nid,)),
+                conjuncts=(lt(nid, sub),),
+            ),
+            outputs=(OutputColumn("n", nid),),
+        )
+        bound = bind_scalars(plan, {sub: Literal(4)})
+        frame = execute_node(bound.child, ctx_for(tiny_db))
+        assert sorted(frame[nid].tolist()) == [0, 1, 2, 3]
+
+
+class TestFullExecution:
+    SQL = (
+        "select c_nationkey, sum(l_extendedprice) as le "
+        "from customer, orders, lineitem "
+        "where c_custkey = o_custkey and o_orderkey = l_orderkey "
+        "  and o_orderdate < '1996-07-01' "
+        "group by c_nationkey;"
+        "select c_mktsegment, sum(l_quantity) as lq "
+        "from customer, orders, lineitem "
+        "where c_custkey = o_custkey and o_orderkey = l_orderkey "
+        "  and o_orderdate < '1996-07-01' "
+        "group by c_mktsegment"
+    )
+
+    @staticmethod
+    def _norm(rows):
+        return sorted(
+            [
+                tuple(round(v, 4) if isinstance(v, float) else v for v in row)
+                for row in rows
+            ],
+            key=repr,
+        )
+
+    def test_matches_oracle_with_cse(self, small_session):
+        batch = small_session.bind(self.SQL)
+        outcome = small_session.execute(batch)
+        oracle = evaluate_batch(small_session.database, batch)
+        for query in batch.queries:
+            got = self._norm(outcome.execution.query(query.name).rows)
+            want = self._norm(oracle[query.name])
+            assert got == want
+
+    def test_matches_oracle_without_cse(self, no_cse_session):
+        batch = no_cse_session.bind(self.SQL)
+        outcome = no_cse_session.execute(batch)
+        oracle = evaluate_batch(no_cse_session.database, batch)
+        for query in batch.queries:
+            got = self._norm(outcome.execution.query(query.name).rows)
+            want = self._norm(oracle[query.name])
+            assert got == want
+
+    def test_order_by_respected(self, small_session):
+        outcome = small_session.execute(
+            "select c_nationkey, sum(c_acctbal) as total from customer "
+            "group by c_nationkey order by total desc"
+        )
+        totals = [row[1] for row in outcome.execution.results[0].rows]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_metrics_accumulated(self, small_session):
+        outcome = small_session.execute(self.SQL)
+        metrics = outcome.execution.metrics
+        assert metrics.cost_units > 0
+        assert metrics.rows_scanned > 0
+        assert metrics.spools_materialized == 1
+        assert metrics.spool_rows_read >= 2 * metrics.spool_rows_written
+
+    def test_spool_sharing_cheaper_than_recompute(self, small_db):
+        with_cse = Session(small_db, OptimizerOptions()).execute(self.SQL)
+        without = Session(
+            small_db, OptimizerOptions(enable_cse=False)
+        ).execute(self.SQL)
+        assert (
+            with_cse.execution.metrics.cost_units
+            < without.execution.metrics.cost_units
+        )
+
+    def test_missing_query_name(self, small_session):
+        outcome = small_session.execute("select r_name from region")
+        with pytest.raises(ExecutionError):
+            outcome.execution.query("nope")

@@ -1,0 +1,94 @@
+"""Tests for cost-annotated EXPLAIN and MCV statistics."""
+
+import pytest
+
+from repro import OptimizerOptions, Session
+from repro.optimizer.explain import PlanAnnotator, explain_with_costs
+from repro.workloads import example1_batch
+
+
+class TestAnnotatedExplain:
+    def test_totals_accumulate(self, small_session):
+        result = small_session.optimize("select r_name from region")
+        annotator = PlanAnnotator(small_session.database)
+        node = annotator.annotate(result.bundle.queries[0].plan)
+        assert node.total_cost >= node.local_cost
+        assert node.total_cost == pytest.approx(
+            node.local_cost + sum(c.total_cost for c in node.children)
+        )
+
+    def test_bundle_header_and_spools(self, small_session):
+        result = small_session.optimize(example1_batch())
+        text = explain_with_costs(small_session.database, result.bundle)
+        assert "estimated bundle cost" in text
+        assert "[local" in text and "total" in text
+        assert "Spool E" in text
+
+    def test_session_explain_costs_flag(self, small_session):
+        text = small_session.explain(example1_batch(), costs=True)
+        assert "[local" in text
+        plain = small_session.explain(example1_batch())
+        assert "[local" not in plain
+
+    def test_query_total_close_to_winner(self, small_session):
+        """The annotated total of a single-query plan approximates the
+        optimizer's estimate (same formulas, same cardinalities)."""
+        sql = (
+            "select c_nationkey, sum(c_acctbal) as t from customer "
+            "group by c_nationkey"
+        )
+        result = small_session.optimize(sql)
+        node = PlanAnnotator(small_session.database).annotate(
+            result.bundle.queries[0].plan
+        )
+        assert node.total_cost == pytest.approx(result.est_cost, rel=0.05)
+
+    def test_cli_costs_flag(self):
+        from tests.test_cli import run_cli
+
+        code, output = run_cli(
+            "--sf", "0.001", "explain", "--costs",
+            "select c_nationkey, sum(c_acctbal) as t from customer "
+            "group by c_nationkey",
+        )
+        assert code == 0 and "[local" in output
+
+
+class TestMcvStatistics:
+    def test_mcv_collected_for_low_ndv(self, small_db):
+        stats = small_db.statistics("customer").column("c_mktsegment")
+        assert stats.mcv
+        assert sum(stats.mcv.values()) == pytest.approx(1.0, abs=0.01)
+
+    def test_no_mcv_for_high_ndv(self, small_db):
+        stats = small_db.statistics("customer").column("c_custkey")
+        assert not stats.mcv
+
+    def test_equality_uses_true_frequency(self, small_db):
+        from repro.expr.expressions import ColumnRef, Literal, TableRef, eq
+        from repro.optimizer.cardinality import CardinalityEstimator
+        from repro.types import DataType
+
+        estimator = CardinalityEstimator(small_db)
+        seg = ColumnRef(
+            TableRef("customer", 1), "c_mktsegment", DataType.STRING
+        )
+        sel = estimator.selectivity(eq(seg, Literal("BUILDING")))
+        table = small_db.table("customer")
+        actual = (
+            (table.column("c_mktsegment") == "BUILDING").sum()
+            / table.row_count
+        )
+        assert sel == pytest.approx(actual, abs=0.001)
+
+    def test_absent_value_estimated_tiny(self, small_db):
+        from repro.expr.expressions import ColumnRef, Literal, TableRef, eq
+        from repro.optimizer.cardinality import CardinalityEstimator
+        from repro.types import DataType
+
+        estimator = CardinalityEstimator(small_db)
+        seg = ColumnRef(
+            TableRef("customer", 1), "c_mktsegment", DataType.STRING
+        )
+        sel = estimator.selectivity(eq(seg, Literal("NO-SUCH-SEGMENT")))
+        assert sel < 0.01

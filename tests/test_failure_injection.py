@@ -1,0 +1,149 @@
+"""Failure injection: the engine must fail loudly and precisely, never
+silently return wrong results."""
+
+import numpy as np
+import pytest
+
+from repro import OptimizerOptions, Session
+from repro.catalog.schema import ColumnSchema, TableSchema
+from repro.errors import (
+    BindError,
+    CatalogError,
+    ExecutionError,
+    LexerError,
+    OptimizerError,
+    ParseError,
+    StorageError,
+    UnsupportedFeatureError,
+)
+from repro.executor.executor import Executor
+from repro.executor.iterators import materialize_spool
+from repro.executor.runtime import ExecutionContext
+from repro.expr.expressions import ColumnRef, TableRef
+from repro.optimizer.physical import PhysScan, PhysSpoolRead
+from repro.storage.database import Database
+from repro.types import DataType
+
+
+class TestFrontendFailures:
+    @pytest.mark.parametrize(
+        "sql, error",
+        [
+            ("select ~x from t", LexerError),
+            ("select from t", ParseError),
+            ("select a frm t", ParseError),
+            ("select ghost from region", BindError),
+            ("select r_name from ghost_table", BindError),
+            ("select r_name from region where r_name > 3", BindError),
+            ("select sum(r_regionkey) as s from region group by r_comment "
+             "order by missing", BindError),
+            ("select r_regionkey from region order by r_name",
+             UnsupportedFeatureError),
+        ],
+    )
+    def test_bad_sql(self, tiny_session, sql, error):
+        with pytest.raises(error):
+            tiny_session.bind(sql)
+
+    def test_error_types_are_repro_errors(self):
+        from repro.errors import ReproError
+
+        for error in (
+            LexerError("x", 0), ParseError("x"), BindError("x"),
+            OptimizerError("x"), ExecutionError("x"), CatalogError("x"),
+            StorageError("x"), UnsupportedFeatureError("x"),
+        ):
+            assert isinstance(error, ReproError)
+
+
+class TestExecutorFailures:
+    def test_dangling_spool_read(self, tiny_db):
+        from repro.executor.iterators import execute_node
+
+        read = PhysSpoolRead("nope", ())
+        with pytest.raises(ExecutionError, match="nope"):
+            execute_node(read, ExecutionContext(database=tiny_db))
+
+    def test_spool_body_without_projection(self, tiny_db):
+        scan = PhysScan(TableRef("region", 1), (), ())
+        with pytest.raises(ExecutionError, match="projection"):
+            materialize_spool("X", scan, ExecutionContext(database=tiny_db))
+
+    def test_scan_of_dropped_table(self):
+        db = Database()
+        db.create_table(
+            TableSchema("t", [ColumnSchema("a", DataType.INT)]),
+            {"a": np.array([1, 2, 3])},
+        )
+        session = Session(db)
+        result = session.optimize("select a from t")
+        db.drop_table("t")
+        with pytest.raises(CatalogError):
+            session.execute_bundle(result)
+
+
+class TestDataIntegrityFailures:
+    def test_ragged_insert_rejected(self):
+        db = Database()
+        db.create_table(
+            TableSchema(
+                "t",
+                [ColumnSchema("a", DataType.INT), ColumnSchema("b", DataType.INT)],
+            )
+        )
+        with pytest.raises(StorageError):
+            db.insert("t", [(1,)])
+
+    def test_type_mismatch_insert_rejected(self):
+        db = Database()
+        db.create_table(TableSchema("t", [ColumnSchema("a", DataType.INT)]))
+        with pytest.raises(StorageError):
+            db.insert("t", [("not an int",)])
+
+    def test_maintenance_on_unrefreshed_view(self, tiny_db):
+        from repro.views.maintenance import MaintenancePlanner
+        from repro.views.materialized import ViewManager
+
+        manager = ViewManager(tiny_db)
+        manager.create_view(
+            "v",
+            "select c_nationkey, sum(c_acctbal) as t from customer "
+            "group by c_nationkey",
+        )
+        planner = MaintenancePlanner(tiny_db, manager)
+        with pytest.raises(CatalogError, match="refreshed"):
+            planner.apply_insert(
+                "customer", [(99_999_999, "X", 1, "BUILDING", 1.0)]
+            )
+
+
+class TestOptimizerGuards:
+    def test_bad_cost_mode(self):
+        with pytest.raises(ValueError):
+            OptimizerOptions(cost_mode="wrong")
+
+    def test_bad_alpha(self):
+        with pytest.raises(ValueError):
+            OptimizerOptions(alpha=2.0)
+
+    def test_empty_batch(self, tiny_session):
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError):
+            tiny_session.bind(";;")
+
+    def test_results_survive_weird_but_legal_predicates(self, tiny_session):
+        # Contradictory range: empty result, not a crash.
+        outcome = tiny_session.execute(
+            "select c_custkey from customer "
+            "where c_nationkey > 10 and c_nationkey < 5"
+        )
+        assert outcome.execution.results[0].rows == []
+
+    def test_always_true_or(self, tiny_session):
+        outcome = tiny_session.execute(
+            "select count(*) as n from customer "
+            "where c_nationkey >= 0 or c_nationkey < 0"
+        )
+        total = tiny_session.database.table("customer").row_count
+        assert outcome.execution.results[0].rows == [(total,)]

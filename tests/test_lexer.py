@@ -1,0 +1,88 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.sql.lexer import TokenType, tokenize
+
+
+def types(sql):
+    return [t.type for t in tokenize(sql)]
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql)[:-1]]
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SeLeCt FROM where")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers_lowercased(self):
+        assert values("Customer c_NationKey") == ["customer", "c_nationkey"]
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14")
+        assert tokens[0].value == 42 and isinstance(tokens[0].value, int)
+        assert tokens[1].value == 3.14 and isinstance(tokens[1].value, float)
+
+    def test_string_literal(self):
+        assert values("'1996-07-01'") == ["1996-07-01"]
+
+    def test_string_escape(self):
+        assert values("'it''s'") == ["it's"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexerError):
+            tokenize("'oops")
+
+    def test_operators(self):
+        assert values("= <> < <= > >= + - / !=") == [
+            "=", "<>", "<", "<=", ">", ">=", "+", "-", "/", "<>",
+        ]
+
+    def test_punctuation(self):
+        assert types("( ) , . ; *")[:-1] == [
+            TokenType.LPAREN,
+            TokenType.RPAREN,
+            TokenType.COMMA,
+            TokenType.DOT,
+            TokenType.SEMICOLON,
+            TokenType.STAR,
+        ]
+
+    def test_qualified_name(self):
+        tokens = tokenize("c.custkey")
+        assert [t.type for t in tokens[:-1]] == [
+            TokenType.IDENT,
+            TokenType.DOT,
+            TokenType.IDENT,
+        ]
+
+    def test_comment_skipped(self):
+        assert values("select -- a comment\n 1") == ["SELECT", 1]
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+
+    def test_bad_character(self):
+        with pytest.raises(LexerError):
+            tokenize("select @x")
+
+    def test_bare_bang_rejected(self):
+        with pytest.raises(LexerError):
+            tokenize("a ! b")
+
+    def test_positions(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+    def test_number_then_dot_identifier(self):
+        # "1.x" is number 1, dot, ident x (not a float)
+        tokens = tokenize("1.x")
+        assert tokens[0].value == 1
+        assert tokens[1].type is TokenType.DOT
+        assert tokens[2].value == "x"

@@ -1,0 +1,163 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast
+from repro.sql.parser import parse_batch, parse_statement
+
+
+class TestSelectBasics:
+    def test_simple_select(self):
+        stmt = parse_statement("select a, b from t")
+        assert len(stmt.select_items) == 2
+        assert stmt.from_items[0].name == "t"
+        assert stmt.where is None
+
+    def test_star(self):
+        stmt = parse_statement("select * from t")
+        assert isinstance(stmt.select_items[0].expr, ast.SqlStar)
+
+    def test_qualified_star(self):
+        stmt = parse_statement("select t.* from t")
+        star = stmt.select_items[0].expr
+        assert isinstance(star, ast.SqlStar) and star.qualifier == "t"
+
+    def test_aliases(self):
+        stmt = parse_statement("select a as x, sum(b) total from t u")
+        assert stmt.select_items[0].alias == "x"
+        assert stmt.select_items[1].alias == "total"
+        assert stmt.from_items[0].alias == "u"
+
+    def test_where_group_having_order(self):
+        stmt = parse_statement(
+            "select a, sum(b) from t where a > 1 group by a "
+            "having sum(b) > 10 order by a desc"
+        )
+        assert stmt.where is not None
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.order_by[0].descending is True
+
+    def test_order_asc_default(self):
+        stmt = parse_statement("select a from t order by a")
+        assert stmt.order_by[0].descending is False
+
+    def test_missing_from(self):
+        with pytest.raises(ParseError):
+            parse_statement("select 1")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_statement("select a from t garbage ( extra")
+
+
+class TestExpressions:
+    def _where(self, condition):
+        return parse_statement(f"select a from t where {condition}").where
+
+    def test_comparison_ops(self):
+        for op in ("=", "<>", "<", "<=", ">", ">="):
+            expr = self._where(f"a {op} 1")
+            assert isinstance(expr, ast.SqlBinary) and expr.op == op
+
+    def test_and_or_precedence(self):
+        expr = self._where("a = 1 or b = 2 and c = 3")
+        assert isinstance(expr, ast.SqlBinary) and expr.op == "OR"
+        right = expr.right
+        assert isinstance(right, ast.SqlBinary) and right.op == "AND"
+
+    def test_parentheses(self):
+        expr = self._where("(a = 1 or b = 2) and c = 3")
+        assert expr.op == "AND"
+        assert expr.left.op == "OR"
+
+    def test_not(self):
+        expr = self._where("not a = 1")
+        assert isinstance(expr, ast.SqlNot)
+
+    def test_between(self):
+        expr = self._where("a between 1 and 5")
+        assert isinstance(expr, ast.SqlBetween) and not expr.negated
+
+    def test_not_between(self):
+        expr = self._where("a not between 1 and 5")
+        assert isinstance(expr, ast.SqlBetween) and expr.negated
+
+    def test_in_list(self):
+        expr = self._where("a in (1, 2, 3)")
+        assert isinstance(expr, ast.SqlInList) and len(expr.options) == 3
+
+    def test_not_in(self):
+        expr = self._where("a not in (1)")
+        assert isinstance(expr, ast.SqlInList) and expr.negated
+
+    def test_arithmetic_precedence(self):
+        expr = self._where("a = 1 + 2 * 3")
+        add = expr.right
+        assert add.op == "+"
+        assert add.right.op == "*"
+
+    def test_date_literal(self):
+        expr = self._where("d < date '1996-07-01'")
+        assert isinstance(expr.right, ast.SqlLiteral) and expr.right.is_date
+
+    def test_aggregates(self):
+        stmt = parse_statement(
+            "select sum(a), count(*), min(b), max(b), avg(a) from t"
+        )
+        funcs = [i.expr.func for i in stmt.select_items]
+        assert funcs == ["SUM", "COUNT", "MIN", "MAX", "AVG"]
+        assert stmt.select_items[1].expr.arg is None
+
+    def test_scalar_subquery(self):
+        stmt = parse_statement(
+            "select a from t having sum(a) > (select sum(b) from u)"
+        )
+        assert isinstance(stmt.having.right, ast.SqlSubquery)
+
+
+class TestBatchesAndWith:
+    def test_batch(self):
+        statements = parse_batch("select a from t; select b from u;")
+        assert len(statements) == 2
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ParseError):
+            parse_batch("  ")
+
+    def test_with_clause(self):
+        stmt = parse_statement(
+            "with v as (select a, b from t where a > 1) "
+            "select v.a from v, u where v.b = u.b"
+        )
+        assert len(stmt.ctes) == 1
+        assert stmt.ctes[0].name == "v"
+        assert stmt.from_items[0].name == "v"
+
+    def test_multiple_ctes(self):
+        stmt = parse_statement(
+            "with v as (select a from t), w as (select b from u) "
+            "select v.a from v, w"
+        )
+        assert [c.name for c in stmt.ctes] == ["v", "w"]
+
+
+class TestUnaryOperators:
+    def test_negative_literal(self):
+        stmt = parse_statement("select a from t where a > -5")
+        assert stmt.where.right.value == -5
+
+    def test_negative_float(self):
+        stmt = parse_statement("select a from t where a > -2.5")
+        assert stmt.where.right.value == -2.5
+
+    def test_unary_plus(self):
+        stmt = parse_statement("select a from t where a > +7")
+        assert stmt.where.right.value == 7
+
+    def test_negated_expression(self):
+        stmt = parse_statement("select a from t where a > -(b)")
+        expr = stmt.where.right
+        assert isinstance(expr, ast.SqlBinary) and expr.op == "-"
+        assert expr.left.value == 0

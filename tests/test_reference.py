@@ -1,0 +1,160 @@
+"""Tests for the oracle evaluator itself (against hand-computed answers on a
+miniature database — the oracle must be trustworthy before it can judge the
+engine)."""
+
+import numpy as np
+import pytest
+
+from repro.catalog.schema import ColumnSchema, TableSchema
+from repro.executor.reference import evaluate_batch, evaluate_query
+from repro.sql.binder import bind_batch, bind_sql
+from repro.storage.database import Database
+from repro.types import DataType
+
+
+@pytest.fixture()
+def mini_db():
+    db = Database()
+    db.create_table(
+        TableSchema(
+            "dept",
+            [
+                ColumnSchema("d_id", DataType.INT),
+                ColumnSchema("d_name", DataType.STRING),
+            ],
+        ),
+        {
+            "d_id": np.array([1, 2, 3]),
+            "d_name": np.array(["eng", "ops", "hr"], dtype=object),
+        },
+    )
+    db.create_table(
+        TableSchema(
+            "emp",
+            [
+                ColumnSchema("e_id", DataType.INT),
+                ColumnSchema("e_dept", DataType.INT),
+                ColumnSchema("e_salary", DataType.FLOAT),
+            ],
+        ),
+        {
+            "e_id": np.array([10, 11, 12, 13, 14]),
+            "e_dept": np.array([1, 1, 2, 2, 2]),
+            "e_salary": np.array([100.0, 200.0, 50.0, 60.0, 70.0]),
+        },
+    )
+    db.analyze()
+    return db
+
+
+class TestOracle:
+    def test_join_and_filter(self, mini_db):
+        query = bind_sql(
+            mini_db.catalog,
+            "select d_name, e_salary from dept, emp "
+            "where d_id = e_dept and e_salary > 60",
+        )
+        rows = evaluate_query(mini_db, query)
+        assert sorted(rows) == [("eng", 100.0), ("eng", 200.0), ("ops", 70.0)]
+
+    def test_aggregation(self, mini_db):
+        query = bind_sql(
+            mini_db.catalog,
+            "select d_name, sum(e_salary) as total, count(*) as n "
+            "from dept, emp where d_id = e_dept group by d_name",
+        )
+        rows = dict((r[0], (r[1], r[2])) for r in evaluate_query(mini_db, query))
+        assert rows == {"eng": (300.0, 2), "ops": (180.0, 3)}
+
+    def test_min_max_avg(self, mini_db):
+        query = bind_sql(
+            mini_db.catalog,
+            "select min(e_salary) as lo, max(e_salary) as hi, "
+            "avg(e_salary) as mean from emp",
+        )
+        rows = evaluate_query(mini_db, query)
+        assert rows == [(50.0, 200.0, 96.0)]
+
+    def test_empty_group_result(self, mini_db):
+        query = bind_sql(
+            mini_db.catalog,
+            "select d_name, count(*) as n from dept, emp "
+            "where d_id = e_dept and e_salary > 1000 group by d_name",
+        )
+        assert evaluate_query(mini_db, query) == []
+
+    def test_scalar_aggregate_over_empty(self, mini_db):
+        query = bind_sql(
+            mini_db.catalog,
+            "select count(*) as n from emp where e_salary > 1000",
+        )
+        assert evaluate_query(mini_db, query) == [(0,)]
+
+    def test_having(self, mini_db):
+        query = bind_sql(
+            mini_db.catalog,
+            "select e_dept, sum(e_salary) as t from emp group by e_dept "
+            "having sum(e_salary) > 200",
+        )
+        assert evaluate_query(mini_db, query) == [(1, 300.0)]
+
+    def test_scalar_subquery(self, mini_db):
+        query = bind_sql(
+            mini_db.catalog,
+            "select e_dept, sum(e_salary) as t from emp group by e_dept "
+            "having sum(e_salary) > (select sum(e_salary) / 2 from emp)",
+        )
+        assert evaluate_query(mini_db, query) == [(1, 300.0)]
+
+    def test_order_by(self, mini_db):
+        query = bind_sql(
+            mini_db.catalog,
+            "select e_id, e_salary as s from emp order by s desc",
+        )
+        rows = evaluate_query(mini_db, query)
+        assert [r[1] for r in rows] == [200.0, 100.0, 70.0, 60.0, 50.0]
+
+    def test_cartesian_product(self, mini_db):
+        query = bind_sql(
+            mini_db.catalog, "select d_id, e_id from dept, emp"
+        )
+        assert len(evaluate_query(mini_db, query)) == 15
+
+    def test_batch(self, mini_db):
+        batch = bind_batch(
+            mini_db.catalog,
+            "select d_name from dept; select count(*) as n from emp",
+        )
+        results = evaluate_batch(mini_db, batch)
+        assert len(results["Q1"]) == 3
+        assert results["Q2"] == [(5,)]
+
+    def test_expression_output(self, mini_db):
+        query = bind_sql(
+            mini_db.catalog,
+            "select sum(e_salary) / 5 as per_head from emp",
+        )
+        assert evaluate_query(mini_db, query) == [(96.0,)]
+
+
+class TestOracleAgreesWithEngine:
+    """On the miniature database the full engine must agree with the oracle
+    (complements the TPC-H comparisons in test_executor)."""
+
+    QUERIES = [
+        "select d_name, e_salary from dept, emp where d_id = e_dept",
+        "select e_dept, sum(e_salary) as t, count(*) as n from emp group by e_dept",
+        "select d_name, max(e_salary) as hi from dept, emp "
+        "where d_id = e_dept and e_salary < 150 group by d_name",
+    ]
+
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_agreement(self, mini_db, sql):
+        from repro import Session
+
+        session = Session(mini_db)
+        batch = session.bind(sql)
+        outcome = session.execute(batch)
+        got = sorted(outcome.execution.results[0].rows, key=repr)
+        want = sorted(evaluate_query(mini_db, batch.queries[0]), key=repr)
+        assert got == want

@@ -1,0 +1,104 @@
+"""Tests for the synthetic TPC-H generator."""
+
+import numpy as np
+import pytest
+
+from repro.catalog.tpch import (
+    BASE_CARDINALITIES,
+    build_tpch_database,
+    generate_tpch_data,
+    tpch_catalog_schemas,
+)
+from repro.types import DataType, date_to_int
+
+
+class TestSchemas:
+    def test_eight_tables(self):
+        schemas = tpch_catalog_schemas()
+        assert sorted(s.name for s in schemas) == [
+            "customer", "lineitem", "nation", "orders",
+            "part", "partsupp", "region", "supplier",
+        ]
+
+    def test_orderdate_index_declared(self):
+        orders = next(s for s in tpch_catalog_schemas() if s.name == "orders")
+        assert orders.index_on("o_orderdate") is not None
+
+    def test_paper_availqty_column(self):
+        """Q4 of §6.2 selects p_availqty from part (see module docstring)."""
+        part = next(s for s in tpch_catalog_schemas() if s.name == "part")
+        assert part.has_column("p_availqty")
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        first = generate_tpch_data(0.0005, seed=7)
+        second = generate_tpch_data(0.0005, seed=7)
+        assert np.array_equal(
+            first["orders"]["o_orderdate"], second["orders"]["o_orderdate"]
+        )
+
+    def test_seed_changes_data(self):
+        first = generate_tpch_data(0.0005, seed=7)
+        second = generate_tpch_data(0.0005, seed=8)
+        assert not np.array_equal(
+            first["orders"]["o_custkey"], second["orders"]["o_custkey"]
+        )
+
+    def test_cardinality_ratios(self):
+        data = generate_tpch_data(0.001)
+        customers = len(data["customer"]["c_custkey"])
+        orders = len(data["orders"]["o_orderkey"])
+        lineitems = len(data["lineitem"]["l_orderkey"])
+        assert orders == 10 * customers
+        assert 2.5 * orders <= lineitems <= 5.5 * orders
+
+    def test_fixed_small_tables(self):
+        data = generate_tpch_data(0.001)
+        assert len(data["region"]["r_regionkey"]) == 5
+        assert len(data["nation"]["n_nationkey"]) == 25
+
+    def test_foreign_keys_resolve(self):
+        data = generate_tpch_data(0.001)
+        custkeys = set(data["customer"]["c_custkey"].tolist())
+        assert set(data["orders"]["o_custkey"].tolist()) <= custkeys
+        orderkeys = set(data["orders"]["o_orderkey"].tolist())
+        assert set(data["lineitem"]["l_orderkey"].tolist()) <= orderkeys
+        assert set(data["customer"]["c_nationkey"].tolist()) <= set(range(25))
+        assert set(data["nation"]["n_regionkey"].tolist()) <= set(range(5))
+
+    def test_date_ranges(self):
+        data = generate_tpch_data(0.001)
+        dates = data["orders"]["o_orderdate"]
+        assert dates.min() >= date_to_int("1992-01-01")
+        assert dates.max() <= date_to_int("1998-08-02")
+
+    def test_lineitem_orderdate_consistency(self):
+        """Ship dates follow their order's date."""
+        data = generate_tpch_data(0.001)
+        order_dates = dict(
+            zip(
+                data["orders"]["o_orderkey"].tolist(),
+                data["orders"]["o_orderdate"].tolist(),
+            )
+        )
+        ship = data["lineitem"]["l_shipdate"].tolist()
+        keys = data["lineitem"]["l_orderkey"].tolist()
+        for okey, sdate in list(zip(keys, ship))[:200]:
+            assert sdate > order_dates[okey]
+
+
+class TestDatabaseBuild:
+    def test_build_with_stats_and_index(self):
+        db = build_tpch_database(scale_factor=0.0005)
+        assert db.has_statistics("lineitem")
+        assert db.index_for("orders", "o_orderdate") is not None
+        stats = db.statistics("customer")
+        assert stats.column("c_nationkey").ndv <= 25
+
+    def test_mktsegment_domain(self):
+        db = build_tpch_database(scale_factor=0.0005)
+        segments = set(db.table("customer").column("c_mktsegment").tolist())
+        assert segments <= {
+            "AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY",
+        }

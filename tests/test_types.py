@@ -1,0 +1,140 @@
+"""Unit tests for the type system (repro.types)."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.types import (
+    DataType,
+    coerce_column,
+    coerce_value,
+    common_numeric_type,
+    comparable,
+    date_to_int,
+    int_to_date,
+    literal_type,
+)
+
+
+class TestDateConversion:
+    def test_epoch_is_zero(self):
+        assert date_to_int("1970-01-01") == 0
+
+    def test_known_date(self):
+        assert date_to_int("1970-01-02") == 1
+        assert date_to_int("1996-07-01") == (
+            datetime.date(1996, 7, 1) - datetime.date(1970, 1, 1)
+        ).days
+
+    def test_accepts_date_objects(self):
+        assert date_to_int(datetime.date(1992, 1, 1)) == date_to_int("1992-01-01")
+
+    def test_accepts_ints_passthrough(self):
+        assert date_to_int(12345) == 12345
+
+    def test_roundtrip(self):
+        for iso in ("1970-01-01", "1996-07-01", "1998-08-02"):
+            assert int_to_date(date_to_int(iso)).isoformat() == iso
+
+    def test_rejects_bool(self):
+        with pytest.raises(StorageError):
+            date_to_int(True)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(StorageError):
+            date_to_int(object())
+
+
+class TestCoercion:
+    def test_int(self):
+        assert coerce_value(42, DataType.INT) == 42
+
+    def test_int_rejects_float(self):
+        with pytest.raises(StorageError):
+            coerce_value(4.2, DataType.INT)
+
+    def test_int_rejects_bool(self):
+        with pytest.raises(StorageError):
+            coerce_value(True, DataType.INT)
+
+    def test_float_accepts_int(self):
+        assert coerce_value(7, DataType.FLOAT) == 7.0
+
+    def test_string(self):
+        assert coerce_value("abc", DataType.STRING) == "abc"
+
+    def test_string_rejects_number(self):
+        with pytest.raises(StorageError):
+            coerce_value(3, DataType.STRING)
+
+    def test_date_from_string(self):
+        assert coerce_value("1970-01-03", DataType.DATE) == 2
+
+    def test_bool(self):
+        assert coerce_value(True, DataType.BOOL) is True
+
+    def test_null_rejected(self):
+        with pytest.raises(StorageError):
+            coerce_value(None, DataType.INT)
+
+    def test_coerce_column_int(self):
+        column = coerce_column([1, 2, 3], DataType.INT)
+        assert column.dtype == np.int64
+        assert column.tolist() == [1, 2, 3]
+
+    def test_coerce_column_passthrough(self):
+        original = np.array([1, 2], dtype=np.int64)
+        assert coerce_column(original, DataType.INT) is original
+
+    def test_coerce_column_dates(self):
+        column = coerce_column(["1970-01-02", "1970-01-03"], DataType.DATE)
+        assert column.tolist() == [1, 2]
+
+
+class TestLiteralTypes:
+    @pytest.mark.parametrize(
+        "value, expected",
+        [
+            (1, DataType.INT),
+            (1.5, DataType.FLOAT),
+            ("x", DataType.STRING),
+            (True, DataType.BOOL),
+            (datetime.date(2000, 1, 1), DataType.DATE),
+        ],
+    )
+    def test_inference(self, value, expected):
+        assert literal_type(value) is expected
+
+    def test_unknown_rejected(self):
+        with pytest.raises(StorageError):
+            literal_type(object())
+
+
+class TestTypeAlgebra:
+    def test_common_numeric(self):
+        assert common_numeric_type(DataType.INT, DataType.FLOAT) is DataType.FLOAT
+        assert common_numeric_type(DataType.INT, DataType.INT) is DataType.INT
+        assert common_numeric_type(DataType.DATE, DataType.INT) is DataType.DATE
+        assert common_numeric_type(DataType.DATE, DataType.DATE) is DataType.INT
+
+    def test_common_numeric_rejects_strings(self):
+        with pytest.raises(StorageError):
+            common_numeric_type(DataType.STRING, DataType.INT)
+
+    def test_comparable(self):
+        assert comparable(DataType.INT, DataType.FLOAT)
+        assert comparable(DataType.DATE, DataType.INT)
+        assert comparable(DataType.STRING, DataType.STRING)
+        assert not comparable(DataType.STRING, DataType.INT)
+        assert not comparable(DataType.DATE, DataType.FLOAT)
+
+    def test_byte_widths(self):
+        assert DataType.INT.byte_width == 8
+        assert DataType.STRING.byte_width == 25
+        assert DataType.BOOL.byte_width == 1
+
+    def test_numpy_dtypes(self):
+        assert DataType.INT.numpy_dtype == np.dtype(np.int64)
+        assert DataType.BOOL.numpy_dtype == np.dtype(np.bool_)

@@ -1,0 +1,78 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.sql.binder import bind_batch
+from repro.sql.parser import parse_batch
+from repro.workloads import (
+    complex_join_batch,
+    example1_batch,
+    example1_with_q4,
+    nested_query,
+    scaleup_batch,
+)
+
+
+class TestExample1:
+    def test_three_queries(self, tiny_db):
+        batch = bind_batch(tiny_db.catalog, example1_batch())
+        assert len(batch.queries) == 3
+        for query in batch.queries[:2]:
+            assert sorted(t.table for t in query.block.tables) == [
+                "customer", "lineitem", "orders",
+            ]
+        assert "nation" in {t.table for t in batch.queries[2].block.tables}
+
+    def test_q4_added(self, tiny_db):
+        batch = bind_batch(tiny_db.catalog, example1_with_q4())
+        assert len(batch.queries) == 4
+        assert sorted(t.table for t in batch.queries[3].block.tables) == [
+            "lineitem", "orders", "part",
+        ]
+
+    def test_nested_query_structure(self, tiny_db):
+        batch = bind_batch(tiny_db.catalog, nested_query())
+        query = batch.queries[0]
+        assert len(query.subqueries) == 1
+        assert query.order_by and query.order_by[0][1] is True
+        sub = next(iter(query.subqueries.values()))
+        assert sorted(t.table for t in sub.tables) == [
+            "customer", "lineitem", "orders",
+        ]
+
+
+class TestScaleup:
+    def test_requested_count(self, tiny_db):
+        for n in (1, 2, 5, 10):
+            batch = bind_batch(tiny_db.catalog, scaleup_batch(n))
+            assert len(batch.queries) == n
+
+    def test_deterministic(self):
+        assert scaleup_batch(6, seed=3) == scaleup_batch(6, seed=3)
+        assert scaleup_batch(6, seed=3) != scaleup_batch(6, seed=4)
+
+    def test_all_share_core_join(self, tiny_db):
+        batch = bind_batch(tiny_db.catalog, scaleup_batch(8))
+        for query in batch.queries:
+            tables = {t.table for t in query.block.tables}
+            assert {"customer", "orders", "lineitem"} <= tables
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            scaleup_batch(0)
+
+
+class TestComplexJoins:
+    def test_two_eight_table_queries(self, tiny_db):
+        batch = bind_batch(tiny_db.catalog, complex_join_batch())
+        assert len(batch.queries) == 2
+        for query in batch.queries:
+            assert len(query.block.tables) == 8
+
+    def test_different_predicates(self):
+        sql = complex_join_batch()
+        first, second = sql.split(";\n")
+        assert first != second
+
+    def test_parses(self):
+        assert len(parse_batch(complex_join_batch())) == 2
