@@ -1,0 +1,73 @@
+"""Observability overhead: metrics enabled vs. disabled.
+
+The registry's design goal is near-zero cost when disabled and small
+single-digit-percent cost when enabled (increments are per operator or per
+phase, never per row). This benchmark runs the adapted TPC-H suite both
+ways — interleaved rounds, trimmed means — and asserts the enabled
+registry stays under a 5% overhead budget.
+"""
+
+import time
+
+from repro.api import Session
+from repro.obs import MetricsRegistry
+from repro.optimizer.options import OptimizerOptions
+from repro.workloads.tpch_queries import ADAPTED_QUERIES
+
+ROUNDS = 9
+#: a representative slice of the suite: joins, aggregation, a spool-heavy
+#: batch would hide optimizer overhead behind execution, so use singles.
+SUITE = ["Q1", "Q3", "Q5", "Q10"]
+
+
+def _trimmed_mean(samples):
+    samples = sorted(samples)
+    trimmed = samples[1:-1] if len(samples) > 4 else samples
+    return sum(trimmed) / len(trimmed)
+
+
+def _run_suite(session):
+    for name in SUITE:
+        session.execute(ADAPTED_QUERIES[name])
+
+
+def test_metrics_overhead_under_budget(benchmark, bench_db):
+    enabled = Session(
+        bench_db, OptimizerOptions(), registry=MetricsRegistry()
+    )
+    disabled = Session(bench_db, OptimizerOptions())
+
+    # Warm-up (JIT-free Python, but caches/allocators still settle).
+    _run_suite(enabled)
+    _run_suite(disabled)
+
+    on_times, off_times = [], []
+    # Interleave rounds so drift (thermal, GC) hits both arms equally.
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        _run_suite(disabled)
+        off_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        _run_suite(enabled)
+        on_times.append(time.perf_counter() - start)
+
+    on = _trimmed_mean(on_times)
+    off = _trimmed_mean(off_times)
+    overhead = (on - off) / off
+    print(
+        f"\n== Metrics overhead ({'+'.join(SUITE)}, {ROUNDS} rounds) ==\n"
+        f"  disabled {off * 1000:7.2f}ms  enabled {on * 1000:7.2f}ms  "
+        f"({overhead * 100:+.2f}%)"
+    )
+    # The registry actually recorded the runs.
+    counters = enabled.registry.snapshot()["counters"]
+    assert counters.get("optimizer.batches", 0) >= ROUNDS * len(SUITE)
+    assert counters.get("executor.operator_invocations", 0) > 0
+    # Budget: enabled metrics must cost < 5% wall time on the suite.
+    assert overhead < 0.05, (
+        f"metrics overhead {overhead * 100:.2f}% exceeds the 5% budget"
+    )
+    benchmark.extra_info["overhead"] = round(overhead, 4)
+    benchmark.extra_info["enabled_ms"] = round(on * 1000, 2)
+    benchmark.extra_info["disabled_ms"] = round(off * 1000, 2)
+    benchmark(lambda: _run_suite(enabled))

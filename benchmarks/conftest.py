@@ -36,4 +36,17 @@ def record(benchmark, results):
             "exec_cost": round(result.exec_cost, 2),
             "exec_time": round(result.exec_time, 4),
             "used_cses": result.used_cses,
+            "q_error_mean": round(result.q_error_mean, 3),
+            "q_error_max": round(result.q_error_max, 3),
+            "counters": {
+                name: value
+                for name, value in sorted(
+                    result.snapshot.get("counters", {}).items()
+                )
+                if name.startswith(("optimizer.", "executor."))
+            },
+            "phase_seconds": {
+                name: round(seconds, 4)
+                for name, seconds in result.phase_seconds.items()
+            },
         }

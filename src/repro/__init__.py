@@ -16,9 +16,12 @@ Public entry points:
 * :class:`Session` — bind/optimize/execute SQL batches.
 * :func:`build_tpch_database` — the synthetic TPC-H substrate.
 * :class:`OptimizerOptions` — CSE knobs (α, β, heuristics, stacking, …).
+* :class:`MetricsRegistry` / :class:`Tracer` — opt-in observability sinks
+  for optimizer/executor counters and structured trace events.
 """
 
 from .api import ExecutionOutcome, Session
+from .obs import MetricsRegistry, Tracer
 from .catalog.tpch import build_tpch_database
 from .errors import (
     BindError,
@@ -45,6 +48,8 @@ __all__ = [
     "Database",
     "OptimizerOptions",
     "CostModel",
+    "MetricsRegistry",
+    "Tracer",
     "ReproError",
     "CatalogError",
     "StorageError",

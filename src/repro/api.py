@@ -28,6 +28,7 @@ from typing import Optional, Sequence, Union
 from .errors import ReproError
 from .executor.executor import BatchResult, Executor
 from .logical.blocks import BoundBatch, BoundQuery
+from .obs import NULL_REGISTRY, NULL_TRACER, MetricsRegistry, Tracer
 from .optimizer.cost import CostModel
 from .optimizer.engine import OptimizationResult, Optimizer
 from .optimizer.options import OptimizerOptions
@@ -62,10 +63,16 @@ class Session:
         database: Database,
         options: Optional[OptimizerOptions] = None,
         cost_model: Optional[CostModel] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.database = database
         self.options = options or OptimizerOptions()
         self.cost_model = cost_model or CostModel()
+        #: observability sinks shared by every optimize/execute on this
+        #: session; the null defaults make instrumentation a no-op.
+        self.registry = registry or NULL_REGISTRY
+        self.tracer = tracer or NULL_TRACER
 
     # -- constructors ------------------------------------------------------
 
@@ -105,33 +112,57 @@ class Session:
     ) -> OptimizationResult:
         """Optimize a batch (CSE detection/exploitation per session options)."""
         batch = self._as_batch(target)
-        optimizer = Optimizer(self.database, self.options, self.cost_model)
+        optimizer = Optimizer(
+            self.database,
+            self.options,
+            self.cost_model,
+            registry=self.registry,
+            tracer=self.tracer,
+        )
         return optimizer.optimize(batch)
 
     def execute(
-        self, target: Union[str, BoundBatch, BoundQuery]
+        self,
+        target: Union[str, BoundBatch, BoundQuery],
+        collect_op_stats: bool = False,
     ) -> ExecutionOutcome:
         """Optimize then execute; returns plans, rows, and metrics."""
         result = self.optimize(target)
-        executor = Executor(self.database, self.cost_model)
-        execution = executor.execute(result.bundle)
+        execution = self.execute_bundle(result, collect_op_stats)
         return ExecutionOutcome(optimization=result, execution=execution)
 
-    def execute_bundle(self, result: OptimizationResult) -> BatchResult:
+    def execute_bundle(
+        self, result: OptimizationResult, collect_op_stats: bool = False
+    ) -> BatchResult:
         """Execute a previously optimized bundle."""
-        return Executor(self.database, self.cost_model).execute(result.bundle)
+        executor = Executor(
+            self.database, self.cost_model, registry=self.registry
+        )
+        return executor.execute(result.bundle, collect_op_stats)
 
     def explain(
         self,
         target: Union[str, BoundBatch, BoundQuery],
         costs: bool = False,
+        analyze: bool = False,
     ) -> str:
         """The optimized plan as text, including any shared spools.
 
         With ``costs=True`` every operator is annotated with its local and
-        cumulative estimated cost.
+        cumulative estimated cost. With ``analyze=True`` the bundle is
+        *executed* and each operator additionally reports actual rows and
+        wall time, plus spool cost attribution and optimizer counters.
         """
         result = self.optimize(target)
+        if analyze:
+            from .optimizer.explain import explain_analyze
+
+            return explain_analyze(
+                self.database,
+                result,
+                self.cost_model,
+                registry=self.registry,
+            )
         header = [
             f"estimated cost: {result.est_cost:.2f} "
             f"(without CSEs: {result.stats.est_cost_no_cse:.2f})",

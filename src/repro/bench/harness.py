@@ -10,6 +10,12 @@ same rows its tables do:
 * ``Execution cost`` — deterministic cost units measured by the executor
   (the hardware-independent stand-in for the paper's execution seconds),
 * ``Execution time`` — wall-clock seconds in the executor.
+
+Every number comes from a :class:`~repro.obs.MetricsRegistry` snapshot:
+:func:`run_mode` runs each phase under a ``bench.*`` timer and reads the
+``optimizer.*``/``executor.*`` counters the instrumented layers publish,
+plus the estimate-vs-actual cardinality error (q-error) computed from
+per-operator actuals.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..api import Session
+from ..obs import MetricsRegistry
 from ..optimizer.options import OptimizerOptions
 from ..storage.database import Database
 
@@ -58,6 +65,14 @@ class ScenarioResult:
     exec_time: float
     used_cses: List[str] = field(default_factory=list)
     candidate_ids: List[str] = field(default_factory=list)
+    #: the full registry snapshot the run produced (counters/gauges/timers).
+    snapshot: Dict = field(default_factory=dict)
+    #: per-phase wall seconds from the ``bench.*`` timers.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: estimate-vs-actual cardinality error over all executed operators;
+    #: 1.0 means every estimate was exact.
+    q_error_mean: float = 1.0
+    q_error_max: float = 1.0
 
     @property
     def cses_cell(self) -> str:
@@ -66,22 +81,80 @@ class ScenarioResult:
             return "N/A"
         return f"{self.candidates} [{self.cse_optimizations}]"
 
+    def counter(self, name: str, default: float = 0.0) -> float:
+        """One counter from the run's registry snapshot."""
+        return self.snapshot.get("counters", {}).get(name, default)
 
-def run_mode(database: Database, sql: str, mode: str) -> ScenarioResult:
-    """Optimize + execute one workload in one mode."""
-    session = Session(database, options_for(mode))
-    outcome = session.execute(sql)
-    stats = outcome.optimization.stats
+
+def cardinality_errors(execution, bundle=None) -> List[float]:
+    """Per-operator q-errors (max of over/under-estimate factor) from an
+    execution that collected op stats. Includes spool bodies when the
+    bundle is supplied."""
+    plans = list(execution.executed_plans.values())
+    if bundle is not None:
+        plans.extend(body for _, body in bundle.root_spools)
+    errors: List[float] = []
+    for plan in plans:
+        for node in plan.walk():
+            stats = execution.stats_for(node)
+            if stats is None:
+                continue
+            est = max(float(node.est_rows), 1.0)
+            actual = max(float(stats.rows_out), 1.0)
+            errors.append(max(est / actual, actual / est))
+    return errors
+
+
+def run_mode(
+    database: Database,
+    sql: str,
+    mode: str,
+    registry: Optional[MetricsRegistry] = None,
+) -> ScenarioResult:
+    """Optimize + execute one workload in one mode.
+
+    All reported numbers are read back from the registry snapshot (phase
+    timers ``bench.optimize``/``bench.execute``/``bench.total``, optimizer
+    and executor counters) rather than from ad-hoc clocks."""
+    registry = registry if registry is not None else MetricsRegistry()
+    session = Session(database, options_for(mode), registry=registry)
+    with registry.timer("bench.total"):
+        with registry.timer("bench.optimize"):
+            result = session.optimize(sql)
+        with registry.timer("bench.execute"):
+            execution = session.execute_bundle(result, collect_op_stats=True)
+    snapshot = registry.snapshot()
+    timers = snapshot.get("timers", {})
+    phases = {
+        name: timers[name]["total"]
+        for name in ("bench.total", "bench.optimize", "bench.execute")
+        if name in timers
+    }
+    errors = cardinality_errors(execution, result.bundle)
+    stats = result.stats
+    counters = snapshot.get("counters", {})
     return ScenarioResult(
         mode=mode,
-        candidates=stats.candidates_generated,
-        cse_optimizations=stats.cse_optimizations,
-        optimization_time=stats.optimization_time,
-        est_cost=outcome.est_cost,
-        exec_cost=outcome.execution.metrics.cost_units,
-        exec_time=outcome.execution.wall_time,
+        candidates=int(counters.get(
+            "optimizer.candidates_generated", stats.candidates_generated
+        )),
+        cse_optimizations=int(counters.get(
+            "optimizer.cse_passes", stats.cse_optimizations
+        )),
+        optimization_time=phases.get(
+            "bench.optimize", stats.optimization_time
+        ),
+        est_cost=result.est_cost,
+        exec_cost=counters.get(
+            "executor.cost_units", execution.metrics.cost_units
+        ),
+        exec_time=phases.get("bench.execute", execution.wall_time),
         used_cses=list(stats.used_cses),
         candidate_ids=list(stats.candidate_ids),
+        snapshot=snapshot,
+        phase_seconds=phases,
+        q_error_mean=(sum(errors) / len(errors)) if errors else 1.0,
+        q_error_max=max(errors) if errors else 1.0,
     )
 
 
@@ -108,6 +181,14 @@ def format_table(
         ["Estimated cost"] + [f"{r.est_cost:.2f}" for r in results],
         ["Execution cost (units)"] + [f"{r.exec_cost:.2f}" for r in results],
         ["Execution time (secs)"] + [f"{r.exec_time:.3f}" for r in results],
+        ["Cardinality q-error (mean/max)"]
+        + [f"{r.q_error_mean:.2f} / {r.q_error_max:.2f}" for r in results],
+        ["Spools (writes/reads)"]
+        + [
+            f"{r.counter('executor.spools_materialized'):g} / "
+            f"{r.counter('executor.spool_reads'):g}"
+            for r in results
+        ],
     ]
     widths = [
         max(len(str(line[i])) for line in [headers] + rows)

@@ -46,6 +46,18 @@ def _markdown_table(results) -> List[str]:
         + " | ".join(f"{r.exec_cost:.1f}" for r in results) + " |",
         "| execution time (s) | "
         + " | ".join(f"{r.exec_time:.3f}" for r in results) + " |",
+        "| cardinality q-error (mean/max) | "
+        + " | ".join(
+            f"{r.q_error_mean:.2f} / {r.q_error_max:.2f}" for r in results
+        )
+        + " |",
+        "| spools (writes/reads) | "
+        + " | ".join(
+            f"{r.counter('executor.spools_materialized'):g} / "
+            f"{r.counter('executor.spool_reads'):g}"
+            for r in results
+        )
+        + " |",
     ]
     return lines
 

@@ -57,6 +57,14 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--rows", type=int, default=10, help="rows to print per query"
     )
+    query.add_argument(
+        "--metrics", action="store_true",
+        help="print the metrics-registry snapshot after execution",
+    )
+    query.add_argument(
+        "--trace", metavar="FILE",
+        help="write optimizer trace events (JSON lines) to FILE",
+    )
 
     explain = sub.add_parser("explain", help="print the optimized plan")
     explain.add_argument("sql")
@@ -65,6 +73,13 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument(
         "--costs", action="store_true",
         help="annotate every operator with estimated costs",
+    )
+    explain.add_argument(
+        "--analyze", action="store_true",
+        help=(
+            "execute the plan and annotate operators with actual rows and "
+            "time, spool cost attribution, and optimizer counters"
+        ),
     )
 
     bench = sub.add_parser(
@@ -92,7 +107,15 @@ def _cmd_query(args: argparse.Namespace, out) -> int:
         results = run_scenario(database, args.sql)
         print(format_table("comparison", results), file=out)
         return 0
-    session = Session(database, _options(args))
+    registry = tracer = None
+    if args.metrics or args.trace:
+        from .obs import MetricsRegistry, Tracer
+
+        registry = MetricsRegistry() if args.metrics else None
+        tracer = Tracer() if args.trace else None
+    session = Session(
+        database, _options(args), registry=registry, tracer=tracer
+    )
     outcome = session.execute(args.sql)
     stats = outcome.optimization.stats
     print(
@@ -114,13 +137,31 @@ def _cmd_query(args: argparse.Namespace, out) -> int:
         f"{metrics.spools_materialized} spool(s)",
         file=out,
     )
+    if registry is not None:
+        print("\n-- metrics:", file=out)
+        snapshot = registry.snapshot()
+        for name in sorted(snapshot["counters"]):
+            print(f"  {name} = {snapshot['counters'][name]:g}", file=out)
+        for name in sorted(snapshot["timers"]):
+            timer = snapshot["timers"][name]
+            print(
+                f"  {name} = {timer['total']:.4f}s over "
+                f"{timer['count']} span(s)",
+                file=out,
+            )
+    if tracer is not None:
+        count = tracer.write(args.trace)
+        print(f"\n-- wrote {count} trace event(s) to {args.trace}", file=out)
     return 0
 
 
 def _cmd_explain(args: argparse.Namespace, out) -> int:
     session = Session.tpch(scale_factor=args.sf, seed=args.seed)
     session.options = _options(args)
-    print(session.explain(args.sql, costs=args.costs), file=out)
+    print(
+        session.explain(args.sql, costs=args.costs, analyze=args.analyze),
+        file=out,
+    )
     return 0
 
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..obs import active_registry
 from ..optimizer.cost import CostModel
 from ..optimizer.memo import Group, Memo
 from .construct import CseDefinition
@@ -94,6 +95,7 @@ def heuristic2_filter(
         if upper < c_r + (upper + c_w) / n:
             if trace is not None:
                 trace.heuristic2.append(f"g{group.gid}")
+            active_registry().counter("cse.heuristic2_consumer_drops")
             continue
         kept.append(group)
     return kept
@@ -133,6 +135,7 @@ def merge_benefit(
 ) -> float:
     """Heuristic 3's Δ: cost of using the source CSEs separately minus the
     cost of using the merged CSE. Merge only when Δ > 0."""
+    active_registry().counter("cse.merge_benefit_evaluations")
     separate = sum(candidate_total_cost(s, cost_model) for s in sources)
     return separate - candidate_total_cost(merged, cost_model)
 
@@ -162,12 +165,14 @@ def heuristic4_filter(
     """Heuristic 4: discard a contained candidate E_c when its result size
     exceeds β × the containing candidate's (S_c > β × S_p): the wider
     candidate shares more computation *and* is not meaningfully larger."""
+    registry = active_registry()
     kept: List[CseDefinition] = []
     for inner in candidates:
         pruned = False
         for outer in candidates:
             if outer is inner:
                 continue
+            registry.counter("cse.containment_checks")
             if is_contained(inner, outer, memo):
                 if inner.est_bytes > beta * outer.est_bytes:
                     pruned = True
@@ -175,6 +180,7 @@ def heuristic4_filter(
         if pruned:
             if trace is not None:
                 trace.heuristic4.append(inner.cse_id)
+            registry.counter("cse.containment_prunes")
             continue
         kept.append(inner)
     return kept

@@ -17,6 +17,7 @@ from ..errors import ExecutionError
 from ..expr.evaluator import Frame, evaluate, frame_length
 from ..expr.expressions import Expr, Literal
 from ..logical.blocks import ScalarSubquery
+from ..obs import NULL_REGISTRY, MetricsRegistry, OperatorStats
 from ..optimizer.cost import CostModel
 from ..optimizer.engine import PlanBundle, QueryPlan
 from ..optimizer.physical import (
@@ -62,6 +63,12 @@ class BatchResult:
     results: List[QueryResult]
     metrics: ExecutionMetrics
     wall_time: float = 0.0
+    #: per-operator actuals keyed by ``id(plan node)``; populated when the
+    #: executor ran with ``collect_op_stats=True`` (EXPLAIN ANALYZE).
+    op_stats: Optional[Dict[int, OperatorStats]] = None
+    #: the plan objects actually executed per query — differs from the
+    #: bundle's plans when scalar subqueries were bound to constants.
+    executed_plans: Dict[str, PhysicalPlan] = field(default_factory=dict)
 
     def query(self, name: str) -> QueryResult:
         """One query's result, by name."""
@@ -70,34 +77,65 @@ class BatchResult:
                 return result
         raise ExecutionError(f"no result for query {name!r}")
 
+    def stats_for(self, node: PhysicalPlan) -> Optional[OperatorStats]:
+        """Recorded actuals for one executed plan node, if any."""
+        if self.op_stats is None:
+            return None
+        return self.op_stats.get(id(node))
+
 
 class Executor:
     """Executes plan bundles against a database."""
 
     def __init__(
-        self, database: Database, cost_model: Optional[CostModel] = None
+        self,
+        database: Database,
+        cost_model: Optional[CostModel] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.database = database
         self.cost_model = cost_model or CostModel()
+        self.registry = registry or NULL_REGISTRY
 
-    def execute(self, bundle: PlanBundle) -> BatchResult:
-        """Execute a bundle: spools, subqueries, then each query."""
+    def execute(
+        self, bundle: PlanBundle, collect_op_stats: bool = False
+    ) -> BatchResult:
+        """Execute a bundle: spools, subqueries, then each query.
+
+        With ``collect_op_stats=True`` the result carries per-operator
+        actuals (rows, wall time) for EXPLAIN ANALYZE rendering."""
         start = time.perf_counter()
-        ctx = ExecutionContext(database=self.database, cost_model=self.cost_model)
+        ctx = ExecutionContext(
+            database=self.database,
+            cost_model=self.cost_model,
+            registry=self.registry,
+            op_stats={} if collect_op_stats else None,
+        )
+        executed_plans: Dict[str, PhysicalPlan] = {}
         for cse_id, body in bundle.root_spools:
             if cse_id not in ctx.spools:
                 ctx.spools[cse_id] = materialize_spool(cse_id, body, ctx)
         results: List[QueryResult] = []
         for query_plan in bundle.queries:
-            results.append(self._execute_query(query_plan, ctx))
+            result, plan = self._execute_query(query_plan, ctx)
+            results.append(result)
+            executed_plans[query_plan.name] = plan
         wall = time.perf_counter() - start
-        return BatchResult(results=results, metrics=ctx.metrics, wall_time=wall)
+        ctx.metrics.publish(self.registry)
+        self.registry.timer_add("executor.wall", wall)
+        return BatchResult(
+            results=results,
+            metrics=ctx.metrics,
+            wall_time=wall,
+            op_stats=ctx.op_stats,
+            executed_plans=executed_plans,
+        )
 
     # ------------------------------------------------------------------
 
     def _execute_query(
         self, query_plan: QueryPlan, ctx: ExecutionContext
-    ) -> QueryResult:
+    ) -> Tuple[QueryResult, PhysicalPlan]:
         scalars: Dict[Expr, Expr] = {}
         for sid, sub_plan in query_plan.subquery_plans.items():
             value, data_type = self._execute_scalar(sub_plan, ctx)
@@ -110,7 +148,7 @@ class Executor:
             list(zip(*[c.tolist() for c in columns])) if columns else []
         )
         ctx.metrics.rows_output += len(rows)
-        return QueryResult(name=query_plan.name, columns=names, rows=rows)
+        return QueryResult(name=query_plan.name, columns=names, rows=rows), plan
 
     def _execute_scalar(
         self, plan: PhysicalPlan, ctx: ExecutionContext
@@ -152,6 +190,7 @@ class Executor:
                     ctx.spools[cse_id] = materialize_spool(cse_id, body, ctx)
         if not isinstance(node, PhysProject):
             raise ExecutionError("finalized plan must end in a projection")
+        start = time.perf_counter()
         frame = execute_node(node.child, ctx)
         ctx.metrics.cost_units += ctx.cost_model.project(
             frame_length(frame), len(node.outputs)
@@ -162,7 +201,31 @@ class Executor:
             ctx.metrics.cost_units += ctx.cost_model.sort(frame_length(frame))
             order = sort_order_for(sort_items, frame)
             columns = [c[order] for c in columns]
+        if ctx.op_stats is not None:
+            # The finalization chain (Project, Sort, SpoolDef) bypasses
+            # execute_node; record its nodes so analyze output is complete.
+            rows = len(columns[0]) if columns else 0
+            elapsed = time.perf_counter() - start
+            for top_node in _finalizer_chain(plan, node):
+                stats = ctx.stats_for(top_node)
+                stats.invocations += 1
+                stats.rows_out += rows
+                stats.wall_time += elapsed
         return names, columns
+
+
+def _finalizer_chain(
+    plan: PhysicalPlan, project: PhysicalPlan
+) -> List[PhysicalPlan]:
+    """The wrapper nodes from a finalized plan's top down to its projection
+    (Sort/SpoolDef then Project) — the nodes `_run_named` evaluates itself."""
+    chain: List[PhysicalPlan] = []
+    node = plan
+    while node is not project and isinstance(node, (PhysSort, PhysSpoolDef)):
+        chain.append(node)
+        node = node.child
+    chain.append(project)
+    return chain
 
 
 # ---------------------------------------------------------------------------

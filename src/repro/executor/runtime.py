@@ -4,16 +4,59 @@ The executor counts the *same* cost units the optimizer estimates (see
 :mod:`repro.optimizer.cost`), against actual row counts. That makes the
 "execution time" rows of the reproduced experiment tables deterministic and
 hardware-independent, while wall-clock time is also reported for reference.
+
+Two optional observability layers sit on top (both off by default and
+near-free when off):
+
+* ``ExecutionContext.op_stats`` — per-operator actuals (invocations, rows
+  out, inclusive wall time), keyed by ``id(plan node)``, for EXPLAIN
+  ANALYZE.
+* ``ExecutionMetrics.spool_stats`` — per-CSE spool accounting (writes vs.
+  reads, rows per read, cost-unit attribution per Definition 5.1), always
+  collected: the property suite asserts sharing invariants on it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List, Optional
 
+from ..obs import NULL_REGISTRY, MetricsRegistry, OperatorStats
 from ..optimizer.cost import CostModel
 from ..storage.database import Database
 from ..storage.worktable import WorkTable
+
+
+@dataclass
+class SpoolStats:
+    """Materialization vs. consumption accounting for one CSE spool.
+
+    Definition 5.1 splits a spool's cost into the *initial* cost (evaluate
+    the body once and write it: ``C_E + C_W``) and the per-consumer *usage*
+    cost (``C_R``). ``write_cost_units``/``read_cost_units`` are the
+    measured counterparts of those two terms."""
+
+    writes: int = 0
+    reads: int = 0
+    rows_written: int = 0
+    rows_read: int = 0
+    #: rows returned by each individual read — the property suite asserts
+    #: every entry equals ``rows_written`` (producer rows == consumer rows).
+    read_row_counts: List[int] = field(default_factory=list)
+    write_cost_units: float = 0.0
+    read_cost_units: float = 0.0
+    materialize_wall_time: float = 0.0
+
+    def merge(self, other: "SpoolStats") -> None:
+        """Accumulate another spool's stats into this one."""
+        self.writes += other.writes
+        self.reads += other.reads
+        self.rows_written += other.rows_written
+        self.rows_read += other.rows_read
+        self.read_row_counts.extend(other.read_row_counts)
+        self.write_cost_units += other.write_cost_units
+        self.read_cost_units += other.read_cost_units
+        self.materialize_wall_time += other.materialize_wall_time
 
 
 @dataclass
@@ -29,6 +72,14 @@ class ExecutionMetrics:
     spool_rows_read: int = 0
     spools_materialized: int = 0
     operator_invocations: int = 0
+    spool_stats: Dict[str, SpoolStats] = field(default_factory=dict)
+
+    def spool(self, cse_id: str) -> SpoolStats:
+        """The (created-on-demand) per-spool stats for ``cse_id``."""
+        stats = self.spool_stats.get(cse_id)
+        if stats is None:
+            stats = self.spool_stats[cse_id] = SpoolStats()
+        return stats
 
     def merge(self, other: "ExecutionMetrics") -> None:
         """Accumulate another metrics object into this one."""
@@ -41,17 +92,50 @@ class ExecutionMetrics:
         self.spool_rows_read += other.spool_rows_read
         self.spools_materialized += other.spools_materialized
         self.operator_invocations += other.operator_invocations
+        for cse_id, stats in other.spool_stats.items():
+            self.spool(cse_id).merge(stats)
+
+    def publish(self, registry: MetricsRegistry) -> None:
+        """Mirror the totals into a registry as executor.* counters."""
+        if not registry.enabled:
+            return
+        registry.counter("executor.cost_units", self.cost_units)
+        registry.counter("executor.rows_scanned", self.rows_scanned)
+        registry.counter("executor.rows_joined", self.rows_joined)
+        registry.counter("executor.rows_aggregated", self.rows_aggregated)
+        registry.counter("executor.rows_output", self.rows_output)
+        registry.counter("executor.spool_rows_written", self.spool_rows_written)
+        registry.counter("executor.spool_rows_read", self.spool_rows_read)
+        registry.counter("executor.spools_materialized", self.spools_materialized)
+        registry.counter("executor.spool_reads", sum(
+            s.reads for s in self.spool_stats.values()
+        ))
+        registry.counter(
+            "executor.operator_invocations", self.operator_invocations
+        )
 
 
 @dataclass
 class ExecutionContext:
     """Shared state for one bundle execution: the database, materialized
-    spools, and accumulated metrics."""
+    spools, accumulated metrics, and (optional) per-operator actuals."""
 
     database: Database
     cost_model: CostModel = field(default_factory=CostModel)
     spools: Dict[str, WorkTable] = field(default_factory=dict)
     metrics: ExecutionMetrics = field(default_factory=ExecutionMetrics)
+    registry: MetricsRegistry = field(default_factory=lambda: NULL_REGISTRY)
+    #: ``id(plan node) -> OperatorStats``; None disables collection so the
+    #: hot path pays a single ``is None`` check per operator.
+    op_stats: Optional[Dict[int, OperatorStats]] = None
+
+    def stats_for(self, node: object) -> OperatorStats:
+        """The (created-on-demand) stats slot for one plan node."""
+        assert self.op_stats is not None
+        stats = self.op_stats.get(id(node))
+        if stats is None:
+            stats = self.op_stats[id(node)] = OperatorStats()
+        return stats
 
     def spool(self, cse_id: str) -> WorkTable:
         """A materialized spool by id (error if missing)."""

@@ -1,0 +1,29 @@
+"""Observability: metrics, tracing, and EXPLAIN ANALYZE support.
+
+This package is dependency-free within :mod:`repro` (nothing here imports
+the optimizer or executor) so any layer can emit metrics or trace events
+without import cycles. See README.md § Observability for the counter and
+trace schemas.
+"""
+
+from .metrics import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    OperatorStats,
+    TimerStats,
+    active_registry,
+    use_registry,
+)
+from .trace import NULL_TRACER, TraceEvent, Tracer
+
+__all__ = [
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "OperatorStats",
+    "TimerStats",
+    "active_registry",
+    "use_registry",
+    "Tracer",
+    "TraceEvent",
+    "NULL_TRACER",
+]

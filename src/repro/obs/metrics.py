@@ -1,0 +1,217 @@
+"""Metrics: counters, gauges, and timers for optimizer and executor.
+
+A :class:`MetricsRegistry` is the single sink for everything the paper's
+experiment tables count — candidate CSEs surviving each heuristic, spool
+materializations vs. reads, optimization passes — measured at runtime
+instead of re-derived from planner estimates. Design goals:
+
+* **Near-zero overhead when disabled.** Every mutator checks ``enabled``
+  first and returns immediately; disabled timers hand out a shared no-op
+  context manager. The default registry (:data:`NULL_REGISTRY`) is disabled,
+  so uninstrumented callers pay one attribute load and one branch.
+* **Thread-safe when enabled.** A single lock guards the maps; increments
+  are coarse (per operator / per optimization phase, never per row), so
+  contention is negligible.
+* **Ambient access for deep call sites.** Pruning heuristics are free
+  functions called far from the optimizer's entry point; they find the
+  current registry via :func:`active_registry` (a thread-local set by
+  :func:`use_registry`) instead of threading a parameter through every
+  signature.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, Iterator, Optional
+
+
+@dataclass
+class TimerStats:
+    """Aggregated observations of one named timer."""
+
+    count: int = 0
+    total: float = 0.0
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per observation (0 when never fired)."""
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class OperatorStats:
+    """Actuals for one physical operator instance (EXPLAIN ANALYZE).
+
+    ``wall_time`` is inclusive of children; renderers subtract child times
+    for self-time. ``rows_out`` accumulates across invocations (an operator
+    runs once per bundle execution here, but spool bodies shared by nested
+    plans may be skipped entirely)."""
+
+    invocations: int = 0
+    rows_out: int = 0
+    wall_time: float = 0.0
+
+
+class _NullTimer:
+    """Shared no-op context manager for disabled registries."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class _Timer:
+    """Context manager recording one observation into a registry."""
+
+    __slots__ = ("_registry", "_name", "_start")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self._registry = registry
+        self._name = name
+
+    def __enter__(self) -> "_Timer":
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self._registry.timer_add(self._name, perf_counter() - self._start)
+
+
+class MetricsRegistry:
+    """Thread-safe counters, gauges, and timers, keyed by dotted names.
+
+    Conventions: counters are monotonic event counts
+    (``optimizer.candidates_generated``), gauges are last-write-wins
+    observations (``optimizer.memo_groups``), timers aggregate wall-clock
+    spans (``bench.optimize``).
+    """
+
+    __slots__ = ("enabled", "_lock", "_counters", "_gauges", "_timers")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._timers: Dict[str, TimerStats] = {}
+
+    # -- mutators ----------------------------------------------------------
+
+    def counter(self, name: str, delta: float = 1) -> None:
+        """Add ``delta`` to counter ``name`` (no-op when disabled)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + delta
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (no-op when disabled)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._gauges[name] = value
+
+    def timer(self, name: str):
+        """A context manager timing one observation of ``name``."""
+        if not self.enabled:
+            return _NULL_TIMER
+        return _Timer(self, name)
+
+    def timer_add(self, name: str, seconds: float) -> None:
+        """Record one pre-measured observation of timer ``name``."""
+        if not self.enabled:
+            return
+        with self._lock:
+            stats = self._timers.get(name)
+            if stats is None:
+                stats = self._timers[name] = TimerStats()
+            stats.count += 1
+            stats.total += seconds
+
+    def reset(self) -> None:
+        """Clear all recorded values (the enabled flag is untouched)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timers.clear()
+
+    # -- readers -----------------------------------------------------------
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        """A counter or gauge value by name (``default`` when absent)."""
+        with self._lock:
+            if name in self._counters:
+                return self._counters[name]
+            return self._gauges.get(name, default)
+
+    def timer_total(self, name: str) -> float:
+        """Total seconds recorded for timer ``name`` (0 when absent)."""
+        with self._lock:
+            stats = self._timers.get(name)
+            return stats.total if stats else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A point-in-time copy: ``{"counters", "gauges", "timers"}``."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "timers": {
+                    name: {"count": s.count, "total": s.total}
+                    for name, s in self._timers.items()
+                },
+            }
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Accumulate another registry's values into this one."""
+        incoming = other.snapshot()
+        if not self.enabled:
+            return
+        with self._lock:
+            for name, value in incoming["counters"].items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            self._gauges.update(incoming["gauges"])
+            for name, timer in incoming["timers"].items():
+                stats = self._timers.get(name)
+                if stats is None:
+                    stats = self._timers[name] = TimerStats()
+                stats.count += timer["count"]
+                stats.total += timer["total"]
+
+
+#: The default, disabled registry: every call is a cheap no-op.
+NULL_REGISTRY = MetricsRegistry(enabled=False)
+
+
+# ---------------------------------------------------------------------------
+# Ambient registry (for free functions deep in the cse/ layer)
+# ---------------------------------------------------------------------------
+
+_ambient = threading.local()
+
+
+def active_registry() -> MetricsRegistry:
+    """The registry installed by the innermost :func:`use_registry`."""
+    return getattr(_ambient, "registry", NULL_REGISTRY)
+
+
+@contextmanager
+def use_registry(registry: Optional[MetricsRegistry]) -> Iterator[MetricsRegistry]:
+    """Install ``registry`` as the thread's ambient registry."""
+    registry = registry or NULL_REGISTRY
+    previous = getattr(_ambient, "registry", NULL_REGISTRY)
+    _ambient.registry = registry
+    try:
+        yield registry
+    finally:
+        _ambient.registry = previous

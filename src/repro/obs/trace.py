@@ -1,0 +1,140 @@
+"""Structured trace events: spans with parent ids, serialized as JSON lines.
+
+The optimizer emits one span per step of the paper's Figure 1 architecture
+(normal optimization → candidate generation → CSE optimization), with
+nested spans for each re-optimization pass, and the executor emits spans
+per spool materialization. Events carry free-form attributes (candidate
+ids, subset contents, row counts) so a trace alone reconstructs what the
+optimizer considered and why.
+
+Timestamps are ``perf_counter`` offsets from the tracer's creation — they
+order and measure, but are not wall-clock datetimes. A disabled tracer
+(:data:`NULL_TRACER`) is a no-op, same contract as the metrics registry.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass
+class TraceEvent:
+    """One span (``duration`` set) or point event (``duration`` None)."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    start: float
+    duration: Optional[float] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSONL payload for this event."""
+        payload: Dict[str, Any] = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": round(self.start, 6),
+        }
+        if self.duration is not None:
+            payload["duration"] = round(self.duration, 6)
+        if self.attrs:
+            payload["attrs"] = self.attrs
+        return payload
+
+
+class Tracer:
+    """Collects spans/events; thread-safe, per-thread span nesting."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.events: List[TraceEvent] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._next_id = 0
+        self._epoch = perf_counter()
+
+    # -- internals ---------------------------------------------------------
+
+    def _now(self) -> float:
+        return perf_counter() - self._epoch
+
+    def _allocate_id(self) -> int:
+        with self._lock:
+            self._next_id += 1
+            return self._next_id
+
+    def _stack(self) -> List[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _current_parent(self) -> Optional[int]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- recording ---------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Optional[TraceEvent]]:
+        """Open a nested span; its duration is set when the block exits."""
+        if not self.enabled:
+            yield None
+            return
+        event = TraceEvent(
+            name=name,
+            span_id=self._allocate_id(),
+            parent_id=self._current_parent(),
+            start=self._now(),
+            attrs=dict(attrs),
+        )
+        stack = self._stack()
+        stack.append(event.span_id)
+        try:
+            yield event
+        finally:
+            stack.pop()
+            event.duration = self._now() - event.start
+            with self._lock:
+                self.events.append(event)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a point event under the current span."""
+        if not self.enabled:
+            return
+        event = TraceEvent(
+            name=name,
+            span_id=self._allocate_id(),
+            parent_id=self._current_parent(),
+            start=self._now(),
+            attrs=dict(attrs),
+        )
+        with self._lock:
+            self.events.append(event)
+
+    # -- output ------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """All events, start-ordered, one JSON object per line."""
+        with self._lock:
+            ordered = sorted(self.events, key=lambda e: e.start)
+            return "\n".join(json.dumps(e.to_dict(), sort_keys=True) for e in ordered)
+
+    def write(self, path: str) -> int:
+        """Write the JSONL stream to ``path``; returns the event count."""
+        text = self.to_jsonl()
+        with open(path, "w") as handle:
+            if text:
+                handle.write(text + "\n")
+        with self._lock:
+            return len(self.events)
+
+
+#: The default, disabled tracer.
+NULL_TRACER = Tracer(enabled=False)

@@ -36,6 +36,7 @@ from ..cse.matching import ConsumerSpec, build_consumer_specs, try_match_consume
 from ..errors import OptimizerError
 from ..expr.expressions import ColumnRef, Comparison, ComparisonOp, Expr, Literal
 from ..logical.blocks import BoundBatch, BoundQuery
+from ..obs import NULL_REGISTRY, NULL_TRACER, MetricsRegistry, Tracer, use_registry
 from ..storage.database import Database
 from .cardinality import CardinalityEstimator
 from .cost import CostModel
@@ -174,9 +175,39 @@ class OptimizerStats:
     cse_optimizations: int = 0
     sharable_buckets: int = 0
     signature_registrations: int = 0
+    memo_groups: int = 0
+    single_consumer_discards: int = 0
     used_cses: List[str] = field(default_factory=list)
     candidate_ids: List[str] = field(default_factory=list)
     prune_trace: Optional[PruneTrace] = None
+
+    def pruned_per_heuristic(self) -> Dict[str, int]:
+        """How many candidates/consumers each heuristic removed."""
+        trace = self.prune_trace
+        if trace is None:
+            return {"H1": 0, "H2": 0, "H3": 0, "H4": 0}
+        return {
+            "H1": len(trace.heuristic1),
+            "H2": len(trace.heuristic2),
+            "H3": len(trace.heuristic3),
+            "H4": len(trace.heuristic4),
+        }
+
+    def counter_summary(self) -> Dict[str, float]:
+        """The stats as flat ``optimizer.*`` counters (snapshot naming)."""
+        summary: Dict[str, float] = {
+            "optimizer.memo_groups": self.memo_groups,
+            "optimizer.signature_registrations": self.signature_registrations,
+            "optimizer.sharable_buckets": self.sharable_buckets,
+            "optimizer.candidates_before_pruning": self.candidates_before_pruning,
+            "optimizer.candidates_generated": self.candidates_generated,
+            "optimizer.cse_passes": self.cse_optimizations,
+            "optimizer.single_consumer_discards": self.single_consumer_discards,
+            "optimizer.cses_kept": len(self.used_cses),
+        }
+        for key, count in self.pruned_per_heuristic().items():
+            summary[f"optimizer.pruned_{key.lower()}"] = count
+        return summary
 
 
 @dataclass
@@ -221,11 +252,16 @@ class Optimizer:
         database: Database,
         options: Optional[OptimizerOptions] = None,
         cost_model: Optional[CostModel] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.database = database
         self.options = options or OptimizerOptions()
         self.cost_model = cost_model or CostModel()
         self.estimator = CardinalityEstimator(database)
+        self.registry = registry or NULL_REGISTRY
+        self.tracer = tracer or NULL_TRACER
+        self._stats = OptimizerStats()
 
     # ------------------------------------------------------------------
     # Entry point
@@ -233,86 +269,126 @@ class Optimizer:
 
     def optimize(self, batch: BoundBatch) -> OptimizationResult:
         """Run the full three-step optimization of Figure 1 on a batch."""
+        with use_registry(self.registry):
+            with self.tracer.span("optimize", queries=len(batch.queries)):
+                result = self._optimize(batch)
+        self._publish_stats(result.stats)
+        return result
+
+    def _publish_stats(self, stats: OptimizerStats) -> None:
+        """Mirror the run's stats into the registry as optimizer.* series."""
+        registry = self.registry
+        if not registry.enabled:
+            return
+        for name, value in stats.counter_summary().items():
+            registry.counter(name, value)
+        registry.counter("optimizer.batches")
+        registry.timer_add("optimizer.normal", stats.normal_time)
+        registry.timer_add("optimizer.cse", stats.cse_time)
+        registry.timer_add("optimizer.total", stats.optimization_time)
+
+    def _optimize(self, batch: BoundBatch) -> OptimizationResult:
         start = time.perf_counter()
         stats = OptimizerStats()
+        self._stats = stats
 
-        memo = Memo(self.estimator, self.options)
-        self._memo = memo
-        self._plan_cache: Dict[Tuple[int, FrozenSet[str]], PlanSet] = {}
-        self._consumer_gids: Dict[str, Set[int]] = {}
-        self._tops: List[Tuple[str, object, Group]] = []
+        with self.tracer.span("normal_optimization"):
+            memo = Memo(self.estimator, self.options)
+            self._memo = memo
+            self._plan_cache: Dict[Tuple[int, FrozenSet[str]], PlanSet] = {}
+            self._consumer_gids: Dict[str, Set[int]] = {}
+            self._tops: List[Tuple[str, object, Group]] = []
 
-        for query in batch.queries:
-            top = memo.build_block(query.block, part_id=query.name)
-            self._tops.append(("query", query, top))
-            for sid, sub_block in sorted(query.subqueries.items()):
-                sub_top = memo.build_block(sub_block, part_id=f"{query.name}:{sid}")
-                self._tops.append(("subquery", (query, sid), sub_top))
-        root = memo.build_root([top for _, _, top in self._tops])
-        self._root = root
+            for query in batch.queries:
+                top = memo.build_block(query.block, part_id=query.name)
+                self._tops.append(("query", query, top))
+                for sid, sub_block in sorted(query.subqueries.items()):
+                    sub_top = memo.build_block(
+                        sub_block, part_id=f"{query.name}:{sid}"
+                    )
+                    self._tops.append(("subquery", (query, sid), sub_top))
+            root = memo.build_root([top for _, _, top in self._tops])
+            self._root = root
 
-        manager = CseManager()
-        manager.register_all(memo.signature_log)
-        stats.signature_registrations = manager.registrations
+            manager = CseManager()
+            manager.register_all(memo.signature_log)
+            stats.signature_registrations = manager.registrations
 
-        # --- normal optimization ------------------------------------------
-        base_ctx = _PassContext((), {}, {}, ())
-        base_cost, base_bundle = self._assemble(base_ctx)
-        self._record_bounds()
-        stats.est_cost_no_cse = base_cost
-        stats.normal_time = time.perf_counter() - start
+            # --- normal optimization --------------------------------------
+            base_ctx = _PassContext((), {}, {}, ())
+            base_cost, base_bundle = self._assemble(base_ctx)
+            self._record_bounds()
+            stats.est_cost_no_cse = base_cost
+            stats.memo_groups = len(memo.groups)
+            stats.normal_time = time.perf_counter() - start
 
         base_result = OptimizationResult(bundle=base_bundle, stats=stats)
         base_result.base_bundle = base_bundle
 
+        def finish_base() -> OptimizationResult:
+            stats.est_cost_final = base_cost
+            stats.optimization_time = time.perf_counter() - start
+            return base_result
+
         if not self.options.enable_cse:
-            stats.est_cost_final = base_cost
-            stats.optimization_time = time.perf_counter() - start
-            return base_result
+            return finish_base()
         if base_cost <= self.options.cse_cost_threshold:
-            stats.est_cost_final = base_cost
-            stats.optimization_time = time.perf_counter() - start
-            return base_result
+            self.tracer.event(
+                "cse_skipped", reason="below_cost_threshold", cost=base_cost
+            )
+            return finish_base()
 
         # --- Step 2: candidate generation -----------------------------------
-        buckets = manager.sharable_buckets()
-        stats.sharable_buckets = len(buckets)
-        if not buckets:
-            stats.est_cost_final = base_cost
-            stats.optimization_time = time.perf_counter() - start
-            return base_result
+        with self.tracer.span("candidate_generation"):
+            buckets = manager.sharable_buckets()
+            stats.sharable_buckets = len(buckets)
+            if not buckets:
+                stats.memo_groups = len(memo.groups)
+                return finish_base()
 
-        trace = PruneTrace()
-        stats.prune_trace = trace
-        candidates = self._generate_candidates(buckets, base_cost, trace, stats)
-        if not candidates:
-            stats.est_cost_final = base_cost
-            stats.optimization_time = time.perf_counter() - start
-            return base_result
-        stats.candidates_generated = len(candidates)
-        stats.candidate_ids = [c.cse_id for c in candidates]
+            trace = PruneTrace()
+            stats.prune_trace = trace
+            candidates = self._generate_candidates(
+                buckets, base_cost, trace, stats
+            )
+            stats.memo_groups = len(memo.groups)
+            if not candidates:
+                return finish_base()
+            stats.candidates_generated = len(candidates)
+            stats.candidate_ids = [c.cse_id for c in candidates]
+            self.tracer.event(
+                "candidates", ids=stats.candidate_ids,
+                before_pruning=stats.candidates_before_pruning,
+            )
 
         # --- Step 3: optimization with candidate subsets ----------------------
-        enumerator = SubsetEnumerator(
-            candidates, memo, self.options.max_cse_optimizations
-        )
-        best_cost = base_cost
-        best_bundle = base_bundle
-        while True:
-            subset = enumerator.next_subset()
-            if subset is None:
-                break
-            enabled = tuple(
-                c for c in candidates if c.cse_id in subset
+        with self.tracer.span("cse_optimization"):
+            enumerator = SubsetEnumerator(
+                candidates, memo, self.options.max_cse_optimizations
             )
-            ctx = self._build_pass_context(enabled)
-            stats.cse_optimizations += 1
-            cost, bundle = self._assemble(ctx)
-            used = frozenset(bundle.used_cses())
-            enumerator.report(subset, used)
-            if cost < best_cost:
-                best_cost = cost
-                best_bundle = bundle
+            best_cost = base_cost
+            best_bundle = base_bundle
+            while True:
+                subset = enumerator.next_subset()
+                if subset is None:
+                    break
+                enabled = tuple(
+                    c for c in candidates if c.cse_id in subset
+                )
+                ctx = self._build_pass_context(enabled)
+                stats.cse_optimizations += 1
+                with self.tracer.span(
+                    "cse_pass", subset=sorted(subset)
+                ) as span:
+                    cost, bundle = self._assemble(ctx)
+                    used = frozenset(bundle.used_cses())
+                    if span is not None:
+                        span.attrs["cost"] = round(cost, 2)
+                        span.attrs["used"] = sorted(used)
+                enumerator.report(subset, used)
+                if cost < best_cost:
+                    best_cost = cost
+                    best_bundle = bundle
 
         stats.est_cost_final = best_cost
         stats.used_cses = best_bundle.used_cses()
@@ -573,6 +649,10 @@ class Optimizer:
         for profile, choice in plans.items():
             uses = _profile_get(profile, candidate.cse_id)
             if uses == 1:
+                # §5.2: a plan using the spool exactly once at its LCA can
+                # never beat recomputation — discard it (and count it, so
+                # EXPLAIN ANALYZE can report how often the rule fired).
+                self._stats.single_consumer_discards += 1
                 continue
             new_profile = _profile_without(profile, candidate.cse_id)
             cost = choice.cost
@@ -936,6 +1016,7 @@ class Optimizer:
                 for inner, n in pick[0]:
                     counts[inner] = min(2, counts.get(inner, 0) + n)
             if any(counts.get(cid, 0) < 2 for cid in active):
+                self._stats.single_consumer_discards += 1
                 continue
             total = cost + sum(pick[1] for pick in chosen.values())
             if best is None or total < best[0]:
@@ -1049,6 +1130,9 @@ class Optimizer:
                     counts.get(candidate.cse_id, 0) >= 2 for candidate in active
                 )
                 if not valid:
+                    # The root-level instance of §5.2's rule: an activation
+                    # whose spool would have fewer than two consumers.
+                    self._stats.single_consumer_discards += 1
                     continue
                 total = cost + body_cost
                 if best is None or total < best[0]:

@@ -1,20 +1,27 @@
-"""Cost-annotated EXPLAIN output.
+"""Cost-annotated EXPLAIN and EXPLAIN ANALYZE output.
 
-Reconstructs per-operator cost estimates for a physical plan from the cost
-model and each node's estimated cardinalities, and renders an annotated
-tree. The numbers match what the optimizer charged during search (the same
-formulas over the same cardinalities), so the annotated total of a query
-plan equals its winner cost up to the fixed finalization terms.
+Plain EXPLAIN reconstructs per-operator cost estimates for a physical plan
+from the cost model and each node's estimated cardinalities, and renders an
+annotated tree. The numbers match what the optimizer charged during search
+(the same formulas over the same cardinalities), so the annotated total of
+a query plan equals its winner cost up to the fixed finalization terms.
+
+EXPLAIN ANALYZE (:func:`explain_analyze`) additionally *executes* the
+bundle with per-operator stat collection and annotates every operator with
+actual rows and wall time alongside the estimates, then reports the
+Definition 5.1 cost split per spool (initial cost ``C_E + C_W`` charged
+once vs. usage cost ``C_R`` per read) and the optimizer's runtime counters
+(candidates generated, pruned per heuristic, CSEs kept).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..storage.database import Database
 from .cost import CostModel
-from .engine import PlanBundle
+from .engine import OptimizationResult, PlanBundle
 from .physical import (
     PhysFilter,
     PhysHashAgg,
@@ -157,3 +164,160 @@ def explain_with_costs(
     annotator = PlanAnnotator(database, cost_model)
     header = f"estimated bundle cost: {bundle.est_cost:.2f}"
     return header + "\n" + annotator.annotate_bundle(bundle)
+
+
+# ---------------------------------------------------------------------------
+# EXPLAIN ANALYZE
+# ---------------------------------------------------------------------------
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1000.0:.2f}ms"
+
+
+def _render_analyzed(node: AnnotatedNode, execution, indent: int) -> List[str]:
+    """Render one annotated subtree with actual rows/time per operator."""
+    stats = execution.stats_for(node.plan)
+    if stats is None:
+        actual = "actual: never executed"
+    else:
+        actual = (
+            f"actual rows={stats.rows_out} time={_fmt_ms(stats.wall_time)}"
+        )
+    line = (
+        "  " * indent
+        + node.plan._describe_line()
+        + f"  [est cost {node.total_cost:.2f}, "
+        + f"est rows {node.plan.est_rows:.0f}; {actual}]"
+    )
+    lines = [line]
+    for child in node.children:
+        lines.extend(_render_analyzed(child, execution, indent + 1))
+    return lines
+
+
+def _spool_attribution(
+    result: OptimizationResult, execution
+) -> List[str]:
+    """Definition 5.1's cost split, estimated vs. measured, per spool."""
+    spool_stats = execution.metrics.spool_stats
+    if not spool_stats:
+        return []
+    by_id = {c.cse_id: c for c in result.candidates}
+    lines = ["Spool cost attribution (Def 5.1):"]
+    for cse_id in sorted(spool_stats):
+        stats = spool_stats[cse_id]
+        candidate = by_id.get(cse_id)
+        if candidate is not None:
+            est_initial = (
+                f"est C_E {candidate.body_cost:.2f} + "
+                f"C_W {candidate.write_cost:.2f} = "
+                f"{candidate.initial_cost:.2f}"
+            )
+            est_usage = (
+                f"est C_R {candidate.read_cost:.2f} x {stats.reads} reads = "
+                f"{candidate.read_cost * stats.reads:.2f}"
+            )
+        else:
+            est_initial = "est n/a"
+            est_usage = "est n/a"
+        lines.append(
+            f"  {cse_id}: initial ({est_initial}; "
+            f"actual {stats.write_cost_units:.2f} units, "
+            f"{stats.writes} materialization(s), {stats.rows_written} rows, "
+            f"{_fmt_ms(stats.materialize_wall_time)})"
+        )
+        lines.append(
+            f"      usage ({est_usage}; "
+            f"actual {stats.read_cost_units:.2f} units over "
+            f"{stats.reads} read(s), rows/read "
+            f"{stats.read_row_counts})"
+        )
+    return lines
+
+
+def _optimizer_counters(result: OptimizationResult) -> List[str]:
+    stats = result.stats
+    pruned = stats.pruned_per_heuristic()
+    return [
+        "Optimizer counters:",
+        (
+            f"  memo groups {stats.memo_groups}; "
+            f"signature registrations {stats.signature_registrations}; "
+            f"sharable buckets {stats.sharable_buckets}"
+        ),
+        (
+            f"  candidates generated {stats.candidates_generated} "
+            f"(before pruning {stats.candidates_before_pruning}; "
+            f"pruned H1 {pruned['H1']}, H2 {pruned['H2']}, "
+            f"H3 {pruned['H3']}, H4 {pruned['H4']})"
+        ),
+        (
+            f"  cse passes {stats.cse_optimizations}; "
+            f"single-consumer discards {stats.single_consumer_discards}; "
+            f"CSEs kept: {stats.used_cses or 'none'}"
+        ),
+        (
+            f"  optimization time {_fmt_ms(stats.optimization_time)} "
+            f"(normal {_fmt_ms(stats.normal_time)}, "
+            f"cse {_fmt_ms(stats.cse_time)})"
+        ),
+    ]
+
+
+def explain_analyze(
+    database: Database,
+    result: OptimizationResult,
+    cost_model: Optional[CostModel] = None,
+    registry=None,
+) -> str:
+    """EXPLAIN ANALYZE: execute the chosen bundle and render each operator
+    with estimated *and* actual rows/time, spool cost attribution, and the
+    optimizer's counters. Returns the full report text."""
+    from ..executor.executor import Executor
+
+    bundle = result.bundle
+    executor = Executor(database, cost_model, registry=registry)
+    execution = executor.execute(bundle, collect_op_stats=True)
+    annotator = PlanAnnotator(database, cost_model)
+
+    parts: List[str] = [
+        "EXPLAIN ANALYZE",
+        (
+            f"estimated bundle cost: {bundle.est_cost:.2f}; "
+            f"measured {execution.metrics.cost_units:.2f} cost units; "
+            f"wall {_fmt_ms(execution.wall_time)}"
+        ),
+    ]
+    for cse_id, body in bundle.root_spools:
+        annotator._remember_spool(cse_id, body)
+        parts.append(f"Spool {cse_id}:")
+        parts.extend(_render_analyzed(annotator.annotate(body), execution, 1))
+    for query in bundle.queries:
+        for sid, sub in query.subquery_plans.items():
+            parts.append(f"{query.name} subquery {sid}:")
+            parts.extend(
+                _render_analyzed(annotator.annotate(sub), execution, 1)
+            )
+        executed = execution.executed_plans.get(query.name, query.plan)
+        parts.append(f"{query.name}:")
+        parts.extend(
+            _render_analyzed(annotator.annotate(executed), execution, 1)
+        )
+    attribution = _spool_attribution(result, execution)
+    if attribution:
+        parts.append("")
+        parts.extend(attribution)
+    parts.append("")
+    parts.extend(_optimizer_counters(result))
+    metrics = execution.metrics
+    parts.append("")
+    parts.append(
+        "Execution totals: "
+        f"{metrics.cost_units:.2f} cost units; "
+        f"rows scanned {metrics.rows_scanned}; "
+        f"spools materialized {metrics.spools_materialized} "
+        f"(rows written {metrics.spool_rows_written}, "
+        f"rows read {metrics.spool_rows_read})"
+    )
+    return "\n".join(parts)

@@ -9,7 +9,12 @@ from .example1 import (
     example1_with_q4,
     nested_query,
 )
-from .generator import complex_join_batch, scaleup_batch
+from .generator import (
+    complex_join_batch,
+    random_spjg_batch,
+    random_spjg_query,
+    scaleup_batch,
+)
 from .tpch_queries import ADAPTED_QUERIES, SHARING_PAIRS, adapted_batch, adapted_query
 
 __all__ = [
@@ -21,6 +26,8 @@ __all__ = [
     "example1_with_q4",
     "nested_query",
     "complex_join_batch",
+    "random_spjg_batch",
+    "random_spjg_query",
     "scaleup_batch",
     "ADAPTED_QUERIES",
     "SHARING_PAIRS",

@@ -5,12 +5,15 @@
   columns, optionally joining ``nation``/``region`` (Figure 8).
 * :func:`complex_join_batch` — two queries joining all eight TPC-H tables
   with different local predicates, aggregating by region (Table 4).
+* :func:`random_spjg_batch` — seed-determined small SPJG batches for the
+  property-based suites: queries share join chains (so candidate CSEs are
+  frequent) but vary predicates, groupings, and aggregates.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List
+from typing import List, Optional
 
 _GROUPINGS = [
     "c_nationkey",
@@ -87,6 +90,82 @@ where c_custkey = o_custkey and o_orderkey = l_orderkey
   and p_size < {size}
 group by r_name
 """.strip()
+
+
+#: join chains for random SPJG queries: (tables, join predicates).
+_SPJG_CHAINS = [
+    (
+        ["customer", "orders", "lineitem"],
+        ["c_custkey = o_custkey", "o_orderkey = l_orderkey"],
+    ),
+    (
+        ["nation", "customer", "orders"],
+        ["n_nationkey = c_nationkey", "c_custkey = o_custkey"],
+    ),
+    (
+        ["orders", "lineitem", "part"],
+        ["o_orderkey = l_orderkey", "l_partkey = p_partkey"],
+    ),
+]
+
+#: (column, low domain, high domain) for random range predicates.
+_SPJG_RANGES = {
+    "customer": ("c_nationkey", 0, 25),
+    "orders": ("o_totalprice", 1000, 400000),
+    "lineitem": ("l_quantity", 1, 50),
+    "nation": ("n_regionkey", 0, 5),
+    "part": ("p_size", 1, 50),
+}
+
+_SPJG_GROUPINGS = {
+    "customer": ["c_nationkey", "c_mktsegment"],
+    "orders": ["o_orderstatus", "o_orderpriority"],
+    "lineitem": ["l_returnflag"],
+    "nation": ["n_regionkey"],
+    "part": ["p_size"],
+}
+
+_SPJG_AGGREGATES = {
+    "customer": "c_acctbal",
+    "orders": "o_totalprice",
+    "lineitem": "l_extendedprice",
+    "nation": "n_nationkey",
+    "part": "p_retailprice",
+}
+
+
+def random_spjg_query(rng: random.Random) -> str:
+    """One random select-project-join-group-by query."""
+    tables, joins = _SPJG_CHAINS[rng.randrange(len(_SPJG_CHAINS))]
+    length = rng.randint(2, len(tables))
+    used = tables[:length]
+    conjuncts = list(joins[: length - 1])
+    for table in used:
+        if rng.random() < 0.5:
+            column, low, high = _SPJG_RANGES[table]
+            bound = rng.randint(low, high)
+            op = rng.choice(["<", ">", "<=", ">="])
+            conjuncts.append(f"{column} {op} {bound}")
+    group_col = rng.choice(_SPJG_GROUPINGS[rng.choice(used)])
+    agg_col = _SPJG_AGGREGATES[rng.choice(used)]
+    agg = rng.choice(["sum", "min", "max", "count"])
+    agg_sql = f"{agg}({agg_col})" if agg != "count" else "count(*)"
+    return (
+        f"select {group_col}, {agg_sql} as v from {', '.join(used)} "
+        f"where {' and '.join(conjuncts)} group by {group_col}"
+    )
+
+
+def random_spjg_batch(seed: int, query_count: Optional[int] = None) -> str:
+    """A seed-determined batch of 2-3 random SPJG queries.
+
+    Queries draw from a small pool of join chains, so batches regularly
+    contain similar subexpressions — the interesting case for the
+    observability and correctness property suites."""
+    rng = random.Random(seed)
+    if query_count is None:
+        query_count = rng.randint(2, 3)
+    return ";\n".join(random_spjg_query(rng) for _ in range(query_count))
 
 
 def complex_join_batch(seed: int = 11) -> str:

@@ -60,3 +60,33 @@ class TestRunners:
         # Columns align: every row has the same number of separators.
         lines = [l for l in text.splitlines() if "|" in l]
         assert len({l.count("|") for l in lines}) == 1
+
+
+class TestPhaseTimers:
+    def test_phases_sum_to_total(self, tiny_db):
+        """bench.optimize + bench.execute account for bench.total up to a
+        small tolerance (timer entry/exit and snapshot overhead)."""
+        result = run_mode(tiny_db, example1_batch(), MODE_CSE)
+        phases = result.phase_seconds
+        assert set(phases) == {
+            "bench.total", "bench.optimize", "bench.execute",
+        }
+        total = phases["bench.total"]
+        parts = phases["bench.optimize"] + phases["bench.execute"]
+        assert parts <= total
+        # Tolerance: 10% of total plus 5ms of fixed overhead.
+        assert total - parts <= 0.10 * total + 0.005, phases
+
+    def test_reported_times_come_from_registry(self, tiny_db):
+        result = run_mode(tiny_db, example1_batch(), MODE_CSE)
+        assert result.optimization_time == result.phase_seconds["bench.optimize"]
+        assert result.exec_time == result.phase_seconds["bench.execute"]
+        timers = result.snapshot["timers"]
+        assert timers["bench.total"]["count"] == 1
+
+    def test_snapshot_counters_and_q_error(self, tiny_db):
+        result = run_mode(tiny_db, example1_batch(), MODE_CSE)
+        assert result.counter("optimizer.candidates_generated") >= 1
+        assert result.counter("executor.spools_materialized") >= 1
+        assert result.exec_cost == result.counter("executor.cost_units")
+        assert result.q_error_max >= result.q_error_mean >= 1.0

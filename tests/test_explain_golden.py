@@ -1,0 +1,66 @@
+"""Golden-snapshot tests for EXPLAIN and EXPLAIN ANALYZE.
+
+Three TPC-H-style workloads — the Example 1 batch, an adapted TPC-H
+query, and the nested query — are rendered with ``costs=True`` and with
+``analyze=True`` and compared against checked-in snapshots. Volatile
+fields (wall-clock times) are normalized to ``?ms``; everything else
+(plan shapes, estimated costs, actual row counts, measured cost units,
+optimizer counters) is deterministic at a fixed scale factor and seed,
+so any drift is a real behavior change.
+
+Regenerate after an intentional change with::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_explain_golden.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.workloads import ADAPTED_QUERIES, example1_batch, nested_query
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+CASES = {
+    "example1_batch": example1_batch(),
+    "tpch_q5": ADAPTED_QUERIES["Q5"],
+    "nested_query": nested_query(),
+}
+
+
+def _normalize(text: str) -> str:
+    """Blank out wall-clock times; keep every deterministic field."""
+    return re.sub(r"\d+\.\d+ms", "?ms", text)
+
+
+def _check(name: str, rendered: str) -> None:
+    got = _normalize(rendered)
+    path = GOLDEN_DIR / f"{name}.txt"
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        path.write_text(got + "\n")
+        return
+    assert path.exists(), (
+        f"missing golden snapshot {path}; regenerate with "
+        f"REPRO_UPDATE_GOLDEN=1"
+    )
+    want = path.read_text().rstrip("\n")
+    assert got == want, (
+        f"{name} drifted from its golden snapshot; if intentional, "
+        f"regenerate with REPRO_UPDATE_GOLDEN=1"
+    )
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_explain_costs_golden(small_session, case):
+    rendered = small_session.explain(CASES[case], costs=True)
+    _check(f"explain_{case}", rendered)
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_explain_analyze_golden(small_session, case):
+    rendered = small_session.explain(CASES[case], analyze=True)
+    _check(f"analyze_{case}", rendered)
