@@ -32,10 +32,15 @@ def _run_suite(session):
 
 
 def test_metrics_overhead_under_budget(benchmark, bench_db):
+    # Plan caching disabled: the point is the instrumentation overhead of
+    # a full optimize+execute, so every round must really optimize.
     enabled = Session(
-        bench_db, OptimizerOptions(), registry=MetricsRegistry()
+        bench_db,
+        OptimizerOptions(),
+        registry=MetricsRegistry(),
+        plan_cache_size=0,
     )
-    disabled = Session(bench_db, OptimizerOptions())
+    disabled = Session(bench_db, OptimizerOptions(), plan_cache_size=0)
 
     # Warm-up (JIT-free Python, but caches/allocators still settle).
     _run_suite(enabled)

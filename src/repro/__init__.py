@@ -18,10 +18,14 @@ Public entry points:
 * :class:`OptimizerOptions` — CSE knobs (α, β, heuristics, stacking, …).
 * :class:`MetricsRegistry` / :class:`Tracer` — opt-in observability sinks
   for optimizer/executor counters and structured trace events.
+* :class:`PlanCache` / :class:`ParallelExecutor` — the serving layer:
+  signature-keyed plan caching and dependency-aware parallel batch
+  execution (``Session(workers=N)``, ``execute(parallel=True)``).
 """
 
 from .api import ExecutionOutcome, Session
 from .obs import MetricsRegistry, Tracer
+from .serve import ParallelExecutor, PlanCache
 from .catalog.tpch import build_tpch_database
 from .errors import (
     BindError,
@@ -50,6 +54,8 @@ __all__ = [
     "CostModel",
     "MetricsRegistry",
     "Tracer",
+    "PlanCache",
+    "ParallelExecutor",
     "ReproError",
     "CatalogError",
     "StorageError",

@@ -22,6 +22,7 @@ Typical use::
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
@@ -36,6 +37,9 @@ from .sql.binder import Binder
 from .sql.parser import parse_batch
 from .storage.database import Database
 
+#: Workers used by ``execute(..., parallel=True)`` on a serial session.
+DEFAULT_PARALLEL_WORKERS = 4
+
 
 @dataclass
 class ExecutionOutcome:
@@ -43,6 +47,9 @@ class ExecutionOutcome:
 
     optimization: OptimizationResult
     execution: BatchResult
+    #: True when the optimization came from the session's plan cache (the
+    #: optimizer did not run for this call).
+    plan_cache_hit: bool = False
 
     @property
     def est_cost(self) -> float:
@@ -56,7 +63,15 @@ class ExecutionOutcome:
 
 
 class Session:
-    """A connection-like facade over a database, optimizer, and executor."""
+    """A connection-like facade over a database, optimizer, and executor.
+
+    ``workers`` sets the default execution parallelism: with ``workers=N``
+    (N > 1) every :meth:`execute` schedules the bundle's spool DAG on N
+    threads. ``plan_cache_size`` bounds the per-session LRU plan cache
+    (``0`` disables caching): a warm :meth:`execute` skips optimization
+    entirely, and any mutation of the underlying :class:`Database`
+    invalidates the affected entries.
+    """
 
     def __init__(
         self,
@@ -65,6 +80,8 @@ class Session:
         cost_model: Optional[CostModel] = None,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        workers: int = 1,
+        plan_cache_size: int = 64,
     ) -> None:
         self.database = database
         self.options = options or OptimizerOptions()
@@ -73,6 +90,15 @@ class Session:
         #: session; the null defaults make instrumentation a no-op.
         self.registry = registry or NULL_REGISTRY
         self.tracer = tracer or NULL_TRACER
+        self.workers = max(1, workers)
+        self.plan_cache = None
+        if plan_cache_size > 0:
+            from .serve import PlanCache
+
+            self.plan_cache = PlanCache(
+                plan_cache_size, registry=self.registry
+            )
+            _register_invalidation(database, self.plan_cache)
 
     # -- constructors ------------------------------------------------------
 
@@ -82,11 +108,16 @@ class Session:
         scale_factor: float = 0.01,
         seed: int = 20070612,
         options: Optional[OptimizerOptions] = None,
+        **kwargs,
     ) -> "Session":
-        """A session over a freshly generated TPC-H database."""
+        """A session over a freshly generated TPC-H database.
+
+        Keyword arguments (``cost_model``, ``registry``, ``tracer``,
+        ``workers``, ``plan_cache_size``, …) are forwarded to the
+        constructor unchanged."""
         from .catalog.tpch import build_tpch_database
 
-        return cls(build_tpch_database(scale_factor, seed), options)
+        return cls(build_tpch_database(scale_factor, seed), options, **kwargs)
 
     # -- binding -------------------------------------------------------------
 
@@ -125,19 +156,74 @@ class Session:
         self,
         target: Union[str, BoundBatch, BoundQuery],
         collect_op_stats: bool = False,
+        parallel: Optional[bool] = None,
+        workers: Optional[int] = None,
     ) -> ExecutionOutcome:
-        """Optimize then execute; returns plans, rows, and metrics."""
-        result = self.optimize(target)
-        execution = self.execute_bundle(result, collect_op_stats)
-        return ExecutionOutcome(optimization=result, execution=execution)
+        """Optimize (or fetch a cached plan) then execute.
+
+        ``parallel=True`` schedules the bundle's spool DAG on a thread
+        pool (``workers`` threads; defaults to the session's ``workers``,
+        or :data:`DEFAULT_PARALLEL_WORKERS` on a serial session);
+        ``parallel=False`` forces serial execution. With the default
+        ``parallel=None``, the session's ``workers`` setting decides."""
+        batch = self._as_batch(target)
+        result, cache_hit = self._cached_optimize(batch)
+        execution = self.execute_bundle(
+            result, collect_op_stats, parallel=parallel, workers=workers
+        )
+        return ExecutionOutcome(
+            optimization=result, execution=execution, plan_cache_hit=cache_hit
+        )
+
+    def _cached_optimize(
+        self, batch: BoundBatch
+    ) -> "tuple[OptimizationResult, bool]":
+        """A (result, was_cache_hit) pair; a hit skips the optimizer."""
+        if self.plan_cache is None:
+            return self.optimize(batch), False
+        from .serve import batch_tables, cache_key
+
+        key = cache_key(batch, self.database, self.options, self.cost_model)
+        cached = self.plan_cache.get(key)
+        if cached is not None:
+            self.tracer.event("plan_cache_hit", fingerprint=key[0][:12])
+            return cached, True
+        result = self.optimize(batch)
+        self.plan_cache.put(key, result, batch_tables(batch))
+        return result, False
+
+    def _effective_workers(
+        self, parallel: Optional[bool], workers: Optional[int]
+    ) -> int:
+        if parallel is False:
+            return 1
+        count = workers if workers is not None else self.workers
+        if parallel and count <= 1 and workers is None:
+            count = DEFAULT_PARALLEL_WORKERS
+        return max(1, count)
 
     def execute_bundle(
-        self, result: OptimizationResult, collect_op_stats: bool = False
+        self,
+        result: OptimizationResult,
+        collect_op_stats: bool = False,
+        parallel: Optional[bool] = None,
+        workers: Optional[int] = None,
     ) -> BatchResult:
-        """Execute a previously optimized bundle."""
-        executor = Executor(
-            self.database, self.cost_model, registry=self.registry
-        )
+        """Execute a previously optimized bundle (serial or parallel)."""
+        count = self._effective_workers(parallel, workers)
+        if count > 1:
+            from .serve import ParallelExecutor
+
+            executor: Executor = ParallelExecutor(
+                self.database,
+                self.cost_model,
+                registry=self.registry,
+                workers=count,
+            )
+        else:
+            executor = Executor(
+                self.database, self.cost_model, registry=self.registry
+            )
         return executor.execute(result.bundle, collect_op_stats)
 
     def explain(
@@ -145,6 +231,8 @@ class Session:
         target: Union[str, BoundBatch, BoundQuery],
         costs: bool = False,
         analyze: bool = False,
+        parallel: Optional[bool] = None,
+        workers: Optional[int] = None,
     ) -> str:
         """The optimized plan as text, including any shared spools.
 
@@ -162,6 +250,7 @@ class Session:
                 result,
                 self.cost_model,
                 registry=self.registry,
+                workers=self._effective_workers(parallel, workers),
             )
         header = [
             f"estimated cost: {result.est_cost:.2f} "
@@ -178,3 +267,22 @@ class Session:
         else:
             body = result.bundle.describe()
         return "\n".join(header) + "\n" + body
+
+
+def _register_invalidation(database: Database, cache) -> None:
+    """Hook a plan cache to a database's mutation stream.
+
+    The listener holds the cache weakly so sessions sharing a long-lived
+    database (the test fixtures, a server process) do not leak caches:
+    once a cache is collected, the first subsequent mutation unregisters
+    the listener."""
+    cache_ref = weakref.ref(cache)
+
+    def _listener(table):
+        target = cache_ref()
+        if target is None:
+            database.remove_mutation_listener(_listener)
+        else:
+            target.invalidate(table)
+
+    database.add_mutation_listener(_listener)

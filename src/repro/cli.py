@@ -58,6 +58,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--rows", type=int, default=10, help="rows to print per query"
     )
     query.add_argument(
+        "--parallel", type=int, metavar="N", default=None,
+        help=(
+            "execute the batch on N worker threads (dependency-aware "
+            "scheduling over the shared-spool DAG)"
+        ),
+    )
+    query.add_argument(
         "--metrics", action="store_true",
         help="print the metrics-registry snapshot after execution",
     )
@@ -113,8 +120,13 @@ def _cmd_query(args: argparse.Namespace, out) -> int:
 
         registry = MetricsRegistry() if args.metrics else None
         tracer = Tracer() if args.trace else None
+    workers = args.parallel if args.parallel and args.parallel > 1 else 1
     session = Session(
-        database, _options(args), registry=registry, tracer=tracer
+        database,
+        _options(args),
+        registry=registry,
+        tracer=tracer,
+        workers=workers,
     )
     outcome = session.execute(args.sql)
     stats = outcome.optimization.stats

@@ -54,6 +54,14 @@ class OperatorStats:
     rows_out: int = 0
     wall_time: float = 0.0
 
+    def merge(self, other: "OperatorStats") -> None:
+        """Accumulate another slot for the same operator (a plan node
+        shared between concurrently executed queries gets one stats slot
+        per worker; merging reproduces the serial single-slot totals)."""
+        self.invocations += other.invocations
+        self.rows_out += other.rows_out
+        self.wall_time += other.wall_time
+
 
 class _NullTimer:
     """Shared no-op context manager for disabled registries."""

@@ -270,14 +270,24 @@ def explain_analyze(
     result: OptimizationResult,
     cost_model: Optional[CostModel] = None,
     registry=None,
+    workers: int = 1,
 ) -> str:
     """EXPLAIN ANALYZE: execute the chosen bundle and render each operator
     with estimated *and* actual rows/time, spool cost attribution, and the
-    optimizer's counters. Returns the full report text."""
+    optimizer's counters. ``workers > 1`` executes the bundle with the
+    dependency-aware parallel executor; apart from wall-clock timings the
+    rendered report is identical. Returns the full report text."""
     from ..executor.executor import Executor
 
     bundle = result.bundle
-    executor = Executor(database, cost_model, registry=registry)
+    if workers > 1:
+        from ..serve.parallel import ParallelExecutor
+
+        executor = ParallelExecutor(
+            database, cost_model, registry=registry, workers=workers
+        )
+    else:
+        executor = Executor(database, cost_model, registry=registry)
     execution = executor.execute(bundle, collect_op_stats=True)
     annotator = PlanAnnotator(database, cost_model)
 

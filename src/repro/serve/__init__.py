@@ -1,0 +1,33 @@
+"""The serving layer: plan caching and parallel batch execution.
+
+Built for the warm path: a session serving the same (or similar) batches
+repeatedly should pay optimization once (:class:`PlanCache`) and execute
+each bundle's spool DAG concurrently (:class:`ParallelExecutor`). See
+README.md § Serving for semantics and DESIGN.md for the mapping back to
+the paper's §5.4/§5.5.
+"""
+
+from .cache import CacheEntry, PlanCache
+from .fingerprint import (
+    CacheKey,
+    batch_fingerprint,
+    batch_tables,
+    cache_key,
+    config_key,
+)
+from .parallel import ParallelExecutor
+from .schedule import Schedule, TaskSpec, build_schedule
+
+__all__ = [
+    "CacheEntry",
+    "CacheKey",
+    "ParallelExecutor",
+    "PlanCache",
+    "Schedule",
+    "TaskSpec",
+    "batch_fingerprint",
+    "batch_tables",
+    "build_schedule",
+    "cache_key",
+    "config_key",
+]

@@ -1,0 +1,128 @@
+"""A thread-safe, bounded LRU cache of optimization results.
+
+A warm :meth:`repro.api.Session.execute` skips the optimizer entirely: the
+chosen :class:`~repro.optimizer.engine.OptimizationResult` is returned from
+here and re-executed. Entries are keyed by
+(batch fingerprint, catalog version, config key) — see
+:mod:`repro.serve.fingerprint` — and remember which physical tables their
+batch reads so a mutation of one table only invalidates the plans that
+could observe it.
+
+Every lookup increments exactly one of ``plan_cache.hit`` /
+``plan_cache.miss`` in the session's :class:`MetricsRegistry`; evictions
+and invalidations are counted as ``plan_cache.eviction`` /
+``plan_cache.invalidation``. The same totals are kept locally (``hits``,
+``misses``, …) so the cache is observable even with the null registry.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+from ..obs import NULL_REGISTRY, MetricsRegistry
+from ..optimizer.engine import OptimizationResult
+from .fingerprint import CacheKey
+
+
+@dataclass
+class CacheEntry:
+    """One cached optimization result plus its invalidation scope."""
+
+    result: OptimizationResult
+    tables: FrozenSet[str]
+
+
+class PlanCache:
+    """Bounded LRU mapping cache keys to optimization results."""
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be positive")
+        self.capacity = capacity
+        self.registry = registry or NULL_REGISTRY
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # -- lookups -----------------------------------------------------------
+
+    def get(self, key: CacheKey) -> Optional[OptimizationResult]:
+        """The cached result for ``key``, or None; counts hit or miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                hit = False
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                hit = True
+        # Registry has its own lock; never call it while holding ours.
+        self.registry.counter("plan_cache.hit" if hit else "plan_cache.miss")
+        return entry.result if entry is not None else None
+
+    def put(
+        self,
+        key: CacheKey,
+        result: OptimizationResult,
+        tables: FrozenSet[str],
+    ) -> None:
+        """Insert (or refresh) an entry, evicting the LRU tail if full."""
+        evicted = 0
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = CacheEntry(result=result, tables=tables)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                evicted += 1
+            self.evictions += evicted
+        if evicted:
+            self.registry.counter("plan_cache.eviction", evicted)
+
+    # -- invalidation ------------------------------------------------------
+
+    def invalidate(self, table: Optional[str] = None) -> int:
+        """Drop entries reading ``table`` (all entries when None).
+
+        This is the :class:`~repro.storage.database.Database` mutation hook:
+        sessions register ``cache.invalidate`` as a mutation listener, so an
+        ``insert``/``load``/DDL on one table removes exactly the plans whose
+        batches touch it. Returns the number of entries dropped."""
+        with self._lock:
+            if table is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+            else:
+                key_name = table.lower()
+                stale = [
+                    key
+                    for key, entry in self._entries.items()
+                    if key_name in entry.tables
+                ]
+                for key in stale:
+                    del self._entries[key]
+                dropped = len(stale)
+            self.invalidations += dropped
+        if dropped:
+            self.registry.counter("plan_cache.invalidation", dropped)
+        return dropped
+
+    def clear(self) -> None:
+        """Drop everything without counting invalidations."""
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,217 @@
+"""Dependency-aware parallel execution of plan bundles.
+
+The serial :class:`~repro.executor.executor.Executor` materializes every
+root spool, then runs each query in turn. This executor instead schedules
+the bundle's producer/consumer DAG (:mod:`repro.serve.schedule`) on a
+``ThreadPoolExecutor``: each CSE spool materializes exactly once — its task
+is the latch; consumers are only submitted after every spool they read has
+completed — while independent queries run concurrently.
+
+Correctness model:
+
+* Each task runs with its *own* :class:`ExecutionContext` (metrics and
+  op-stat maps are thread-local to the task) over a *shared* spool map.
+  The map is only written by a spool task before any of its consumers
+  start, and :class:`WorkTable` columns are immutable once loaded, so
+  consumers see fully materialized spools without further locking.
+* Per-task metrics are merged in schedule order (spools first, then
+  queries in batch order) — the same accumulation order as the serial
+  executor — so deterministic counters (rows, spool accounting) are
+  identical and float totals agree to rounding.
+* Worker exceptions are captured and re-raised in the calling thread after
+  in-flight tasks drain; nothing leaks into the pool.
+
+Results are byte-identical to serial execution: every operator is
+order-preserving and tasks do not share mutable state.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ExecutionError
+from ..executor.executor import BatchResult, Executor, QueryResult
+from ..executor.iterators import materialize_spool
+from ..executor.runtime import ExecutionContext, ExecutionMetrics
+from ..obs import MetricsRegistry, OperatorStats
+from ..optimizer.cost import CostModel
+from ..optimizer.engine import PlanBundle
+from ..optimizer.physical import PhysicalPlan
+from ..storage.database import Database
+from ..storage.worktable import WorkTable
+from .schedule import Schedule, TaskSpec, build_schedule
+
+
+class _TaskOutcome:
+    """What one finished task hands back for deterministic merging."""
+
+    __slots__ = ("metrics", "op_stats", "result", "plan")
+
+    def __init__(
+        self,
+        metrics: ExecutionMetrics,
+        op_stats: Optional[Dict[int, OperatorStats]],
+        result: Optional[QueryResult] = None,
+        plan: Optional[PhysicalPlan] = None,
+    ) -> None:
+        self.metrics = metrics
+        self.op_stats = op_stats
+        self.result = result
+        self.plan = plan
+
+
+class ParallelExecutor(Executor):
+    """Executes plan bundles over their spool DAG on a thread pool."""
+
+    def __init__(
+        self,
+        database: Database,
+        cost_model: Optional[CostModel] = None,
+        registry: Optional[MetricsRegistry] = None,
+        workers: int = 2,
+    ) -> None:
+        super().__init__(database, cost_model, registry=registry)
+        if workers < 1:
+            raise ExecutionError("workers must be positive")
+        self.workers = workers
+
+    def execute(
+        self, bundle: PlanBundle, collect_op_stats: bool = False
+    ) -> BatchResult:
+        """Execute a bundle with dependency-aware parallelism."""
+        if self.workers == 1:
+            return super().execute(bundle, collect_op_stats)
+        start = time.perf_counter()
+        schedule = build_schedule(bundle)
+        spools: Dict[str, WorkTable] = {}
+        outcomes = self._run_schedule(
+            schedule, bundle, spools, collect_op_stats
+        )
+        metrics = ExecutionMetrics()
+        op_stats: Optional[Dict[int, OperatorStats]] = (
+            {} if collect_op_stats else None
+        )
+        results: List[QueryResult] = []
+        executed_plans: Dict[str, PhysicalPlan] = {}
+        # Merge in schedule order == serial accumulation order.
+        for task in schedule.tasks:
+            outcome = outcomes[task.index]
+            metrics.merge(outcome.metrics)
+            if op_stats is not None and outcome.op_stats:
+                for node_id, stats in outcome.op_stats.items():
+                    slot = op_stats.get(node_id)
+                    if slot is None:
+                        op_stats[node_id] = slot = OperatorStats()
+                    slot.merge(stats)
+            if task.kind == "query":
+                results.append(outcome.result)
+                executed_plans[task.label] = outcome.plan
+        wall = time.perf_counter() - start
+        metrics.publish(self.registry)
+        self.registry.timer_add("executor.wall", wall)
+        self.registry.counter("executor.parallel_batches")
+        self.registry.gauge("executor.parallel_workers", self.workers)
+        return BatchResult(
+            results=results,
+            metrics=metrics,
+            wall_time=wall,
+            op_stats=op_stats,
+            executed_plans=executed_plans,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _task_context(
+        self, spools: Dict[str, WorkTable], collect_op_stats: bool
+    ) -> ExecutionContext:
+        return ExecutionContext(
+            database=self.database,
+            cost_model=self.cost_model,
+            registry=self.registry,
+            spools=spools,
+            op_stats={} if collect_op_stats else None,
+        )
+
+    def _run_task(
+        self,
+        task: TaskSpec,
+        bundle: PlanBundle,
+        spools: Dict[str, WorkTable],
+        collect_op_stats: bool,
+    ) -> _TaskOutcome:
+        ctx = self._task_context(spools, collect_op_stats)
+        if task.kind == "spool":
+            body = dict(bundle.root_spools)[task.label]
+            if task.label not in spools:
+                worktable = materialize_spool(task.label, body, ctx)
+                # Publishing the finished table is the consumers' latch:
+                # their tasks are only submitted after this one completes.
+                spools[task.label] = worktable
+            return _TaskOutcome(ctx.metrics, ctx.op_stats)
+        query_plan = next(
+            q for q in bundle.queries if q.name == task.label
+        )
+        result, plan = self._execute_query(query_plan, ctx)
+        return _TaskOutcome(ctx.metrics, ctx.op_stats, result, plan)
+
+    def _run_schedule(
+        self,
+        schedule: Schedule,
+        bundle: PlanBundle,
+        spools: Dict[str, WorkTable],
+        collect_op_stats: bool,
+    ) -> Dict[int, _TaskOutcome]:
+        """Topological wave scheduling with bounded workers."""
+        outcomes: Dict[int, _TaskOutcome] = {}
+        waiting = {task.index: set(task.deps) for task in schedule.tasks}
+        dependents: Dict[int, List[TaskSpec]] = {}
+        for task in schedule.tasks:
+            for dep in task.deps:
+                dependents.setdefault(dep, []).append(task)
+        by_index = {task.index: task for task in schedule.tasks}
+        failure: Optional[BaseException] = None
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            running: Dict[Future, int] = {}
+
+            def submit(task: TaskSpec) -> None:
+                future = pool.submit(
+                    self._run_task, task, bundle, spools, collect_op_stats
+                )
+                running[future] = task.index
+
+            for task in schedule.tasks:
+                if not waiting[task.index]:
+                    submit(task)
+            while running:
+                done, _ = wait(set(running), return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = running.pop(future)
+                    error = future.exception()
+                    if error is not None:
+                        # Remember the first failure; stop submitting new
+                        # work but let in-flight tasks drain.
+                        if failure is None:
+                            failure = error
+                        continue
+                    outcomes[index] = future.result()
+                    if failure is not None:
+                        continue
+                    for dependent in dependents.get(index, ()):
+                        pending = waiting[dependent.index]
+                        pending.discard(index)
+                        if not pending:
+                            submit(dependent)
+        if failure is not None:
+            raise failure
+        if len(outcomes) != len(schedule.tasks):
+            unfinished = sorted(
+                by_index[i].label
+                for i in waiting
+                if i not in outcomes
+            )
+            raise ExecutionError(
+                f"schedule deadlock; unfinished tasks: {unfinished}"
+            )
+        return outcomes

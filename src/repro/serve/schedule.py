@@ -1,0 +1,124 @@
+"""Dependency schedules over a plan bundle's spool producer/consumer DAG.
+
+A :class:`PlanBundle` is embarrassingly parallel between spool barriers:
+each root spool must materialize before any of its consumers run, stacked
+spools (§5.5) must materialize before the spools that read them, and
+everything else is independent. :func:`build_schedule` extracts that DAG as
+a list of :class:`TaskSpec` — one per root spool and one per query — with
+dependency edges expressed as task indices, ready to hand to the parallel
+executor (or to anything else that wants the topology, e.g. EXPLAIN
+tooling or tests).
+
+Spools defined *inside* a query plan (single-query LCA placements, rendered
+as ``PhysSpoolDef`` nodes) are private to that query's task: the optimizer
+settles a candidate at a group dominating all its consumers, so a spool
+whose consumers span queries is always lifted to the bundle root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..optimizer.engine import PlanBundle, QueryPlan
+from ..optimizer.physical import PhysicalPlan, PhysSpoolRead
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One schedulable unit: materialize a spool or run a query."""
+
+    index: int
+    kind: str  # "spool" | "query"
+    label: str  # cse id or query name
+    #: indices of tasks that must complete before this one starts.
+    deps: Tuple[int, ...] = ()
+
+
+@dataclass
+class Schedule:
+    """The bundle's task DAG in a topologically valid order."""
+
+    tasks: List[TaskSpec] = field(default_factory=list)
+
+    @property
+    def width(self) -> int:
+        """The maximum number of tasks runnable concurrently (antichain
+        bound computed level-by-level: tasks whose dependencies all sit in
+        earlier levels share a level)."""
+        level: Dict[int, int] = {}
+        counts: Dict[int, int] = {}
+        for task in self.tasks:
+            task_level = (
+                max((level[d] for d in task.deps), default=-1) + 1
+            )
+            level[task.index] = task_level
+            counts[task_level] = counts.get(task_level, 0) + 1
+        return max(counts.values(), default=0)
+
+    def describe(self) -> str:
+        """One line per task: kind, label, and dependency labels."""
+        by_index = {t.index: t for t in self.tasks}
+        lines = []
+        for task in self.tasks:
+            deps = ", ".join(by_index[d].label for d in task.deps)
+            suffix = f" <- [{deps}]" if deps else ""
+            lines.append(f"{task.kind} {task.label}{suffix}")
+        return "\n".join(lines)
+
+
+def _spool_reads(plan: PhysicalPlan) -> Set[str]:
+    return {
+        node.cse_id
+        for node in plan.walk()
+        if isinstance(node, PhysSpoolRead)
+    }
+
+
+def _query_reads(query: QueryPlan) -> Set[str]:
+    reads: Set[str] = _spool_reads(query.plan)
+    for sub_plan in query.subquery_plans.values():
+        reads |= _spool_reads(sub_plan)
+    return reads
+
+
+def build_schedule(bundle: PlanBundle) -> Schedule:
+    """The producer→consumer task DAG for one bundle.
+
+    Tasks are emitted spools-first in the bundle's (already topological)
+    spool order, then queries in batch order, so executing the schedule
+    serially in task order is exactly the serial executor's order."""
+    tasks: List[TaskSpec] = []
+    spool_index: Dict[str, int] = {}
+    for cse_id, body in bundle.root_spools:
+        # Reads of ids outside spool_index are either inline PhysSpoolDef
+        # definitions (private to this task) or planner bugs the executor's
+        # "read before materialization" error will surface; the bundle's
+        # spool order is already toposorted, so every root-spool dependency
+        # is indexed by the time its reader is reached.
+        deps = tuple(
+            sorted(
+                spool_index[dep]
+                for dep in _spool_reads(body)
+                if dep in spool_index
+            )
+        )
+        index = len(tasks)
+        tasks.append(
+            TaskSpec(index=index, kind="spool", label=cse_id, deps=deps)
+        )
+        spool_index[cse_id] = index
+    for query in bundle.queries:
+        deps = tuple(
+            sorted(
+                spool_index[dep]
+                for dep in _query_reads(query)
+                if dep in spool_index
+            )
+        )
+        tasks.append(
+            TaskSpec(
+                index=len(tasks), kind="query", label=query.name, deps=deps
+            )
+        )
+    return Schedule(tasks=tasks)

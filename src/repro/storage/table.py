@@ -117,13 +117,18 @@ class Table:
                     f"row has {len(row)} values, table {self.name!r} has "
                     f"{len(names)} columns"
                 )
+        # Copy-on-write: build the appended columns aside and publish them
+        # with one atomic dict swap, so concurrent readers never observe a
+        # ragged half-appended table (arrays themselves are immutable here).
+        updated = dict(self._columns)
         for position, col in enumerate(self.schema.columns):
             new_values = coerce_column(
                 [row[position] for row in rows], col.data_type
             )
-            self._columns[col.name] = np.concatenate(
-                [self._columns[col.name], new_values]
+            updated[col.name] = np.concatenate(
+                [updated[col.name], new_values]
             )
+        self._columns = updated
         return len(rows)
 
     def replace_data(self, columns: Mapping[str, Any]) -> None:

@@ -22,7 +22,14 @@ from ..types import DataType, coerce_column
 
 
 class WorkTable:
-    """A materialized intermediate result."""
+    """A materialized intermediate result.
+
+    Thread-safety contract (parallel executor): a work table is built and
+    loaded by exactly one producer task before being published to the
+    shared spool map; :meth:`load` installs the validated columns with a
+    single atomic dict swap and nothing mutates the arrays afterwards, so
+    any number of concurrent consumers may read columns without locking.
+    """
 
     def __init__(
         self,

@@ -11,6 +11,7 @@ from .example1 import (
 )
 from .generator import (
     complex_join_batch,
+    independent_pairs_batch,
     random_spjg_batch,
     random_spjg_query,
     scaleup_batch,
@@ -26,6 +27,7 @@ __all__ = [
     "example1_with_q4",
     "nested_query",
     "complex_join_batch",
+    "independent_pairs_batch",
     "random_spjg_batch",
     "random_spjg_query",
     "scaleup_batch",

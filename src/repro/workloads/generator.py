@@ -8,6 +8,8 @@
 * :func:`random_spjg_batch` — seed-determined small SPJG batches for the
   property-based suites: queries share join chains (so candidate CSEs are
   frequent) but vary predicates, groupings, and aggregates.
+* :func:`independent_pairs_batch` — six queries in three independent
+  shared-subexpression pairs, built for the parallel serving benchmark.
 """
 
 from __future__ import annotations
@@ -185,3 +187,47 @@ def complex_join_batch(seed: int = 11) -> str:
         size=rng.randint(30, 50),
     )
     return first + ";\n" + second
+
+
+_PAIR_TEMPLATES = [
+    # (tables, join+local predicates, aggregate, the two groupings)
+    (
+        "customer, orders, lineitem",
+        "c_custkey = o_custkey and o_orderkey = l_orderkey "
+        "and o_totalprice < 200000",
+        "sum(l_extendedprice)",
+        ("c_nationkey", "c_mktsegment"),
+    ),
+    (
+        "orders, lineitem, part",
+        "o_orderkey = l_orderkey and l_partkey = p_partkey and p_size < 30",
+        "sum(l_quantity)",
+        ("o_orderstatus", "o_orderpriority"),
+    ),
+    (
+        "nation, customer, orders",
+        "n_nationkey = c_nationkey and c_custkey = o_custkey "
+        "and c_acctbal > 0",
+        "sum(o_totalprice)",
+        ("n_regionkey", "n_name"),
+    ),
+]
+
+
+def independent_pairs_batch() -> str:
+    """Six queries in three *independent* pairs, each pair sharing one
+    subexpression over a different join chain.
+
+    Unlike :func:`scaleup_batch` — where one big spool feeds every query
+    and dominates the runtime — this batch's heavy work (two kept spools
+    plus one pair the optimizer leaves unshared) is mutually independent,
+    so the parallel executor can overlap the materializations themselves.
+    Used by the serving benchmark and the concurrency suites."""
+    queries: List[str] = []
+    for tables, where, agg, groupings in _PAIR_TEMPLATES:
+        for grouping in groupings:
+            queries.append(
+                f"select {grouping}, {agg} as v from {tables}\n"
+                f"where {where} group by {grouping}"
+            )
+    return ";\n".join(queries)

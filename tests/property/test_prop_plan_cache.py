@@ -1,0 +1,98 @@
+"""Property suite: the plan cache is invisible except for speed.
+
+For 100 seed-determined random SPJG batches (the same generator the other
+property suites use), three invariants must hold on every workload:
+
+* a warm (cache-hit) ``execute`` returns exactly the rows of the cold
+  optimize-and-execute that populated the cache;
+* every lookup lands in exactly one of ``plan_cache.hit`` /
+  ``plan_cache.miss`` — the counters account for all lookups;
+* mutating a table the batch reads invalidates the entry, and the
+  re-optimized plan agrees with an uncached oracle session on the
+  mutated database.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import OptimizerOptions, Session
+from repro.catalog.tpch import build_tpch_database
+from repro.obs import MetricsRegistry
+from repro.serve import batch_tables
+from repro.workloads import random_spjg_batch
+
+#: read-only database shared by the hit/miss seeds.
+DB = build_tpch_database(scale_factor=0.0005)
+
+SEEDS = range(100)
+#: every SPJG join chain includes orders, so inserting there always
+#: intersects the batch's table set.
+MUTATED_TABLE = "orders"
+MUTATION_SEEDS = range(0, 100, 10)
+
+
+def _rows(execution):
+    return [(r.name, r.columns, r.rows) for r in execution.results]
+
+
+def _duplicate_first_row(database, table_name):
+    table = database.table(table_name)
+    names = [c.name for c in table.schema.columns]
+    row = tuple(
+        value.item() if hasattr(value, "item") else value
+        for value in (table.column(name)[0] for name in names)
+    )
+    database.insert(table_name, [row])
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_cache_hit_rows_equal_cold_rows(seed):
+    sql = random_spjg_batch(seed)
+    registry = MetricsRegistry()
+    session = Session(DB, OptimizerOptions(), registry=registry)
+    cold = session.execute(sql)
+    warm = session.execute(sql)
+    assert not cold.plan_cache_hit
+    assert warm.plan_cache_hit
+    assert _rows(warm.execution) == _rows(cold.execution)
+    # Counters account for every lookup: two lookups, one each way.
+    counters = registry.snapshot()["counters"]
+    assert counters["plan_cache.miss"] == 1
+    assert counters["plan_cache.hit"] == 1
+    assert session.plan_cache.hits + session.plan_cache.misses == 2
+
+
+@pytest.mark.parametrize("seed", MUTATION_SEEDS)
+def test_mutation_invalidates_and_recomputes(seed):
+    # A private database: the insert must not leak into other tests.
+    database = build_tpch_database(scale_factor=0.0005)
+    sql = random_spjg_batch(seed)
+    registry = MetricsRegistry()
+    session = Session(database, OptimizerOptions(), registry=registry)
+    assert MUTATED_TABLE in batch_tables(session.bind(sql))
+
+    session.execute(sql)
+    assert session.execute(sql).plan_cache_hit
+
+    _duplicate_first_row(database, MUTATED_TABLE)
+    after = session.execute(sql)
+    assert not after.plan_cache_hit, "mutation must drop the cached plan"
+    counters = registry.snapshot()["counters"]
+    assert counters["plan_cache.invalidation"] >= 1
+    assert counters["plan_cache.miss"] == 2
+    assert counters["plan_cache.hit"] == 1
+
+    # The re-optimized plan sees the mutation, like an uncached session.
+    oracle = Session(database, OptimizerOptions(), plan_cache_size=0)
+    assert oracle.plan_cache is None
+    assert _rows(after.execution) == _rows(oracle.execute(sql).execution)
+
+
+def test_unrelated_table_mutation_keeps_entries():
+    database = build_tpch_database(scale_factor=0.0005)
+    session = Session(database, OptimizerOptions())
+    sql = "select r_name from region"
+    session.execute(sql)
+    _duplicate_first_row(database, "supplier")  # region plan unaffected
+    assert session.execute(sql).plan_cache_hit

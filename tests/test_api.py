@@ -86,3 +86,70 @@ class TestSessionBasics:
         session = Session(small_db, OptimizerOptions(enable_cse=False))
         result = session.optimize(example1_batch())
         assert result.stats.candidates_generated == 0
+
+
+class TestTpchKwargsForwarding:
+    """Regression: Session.tpch used to swallow constructor kwargs
+    (cost_model, registry, tracer, ...) instead of forwarding them."""
+
+    def test_forwards_observability_and_config(self):
+        from repro import MetricsRegistry, Tracer
+
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        model = CostModel(io_page=100.0)
+        session = Session.tpch(
+            scale_factor=0.0005,
+            cost_model=model,
+            registry=registry,
+            tracer=tracer,
+            workers=3,
+            plan_cache_size=7,
+        )
+        assert session.cost_model is model
+        assert session.registry is registry
+        assert session.tracer is tracer
+        assert session.workers == 3
+        assert session.plan_cache is not None
+        assert session.plan_cache.capacity == 7
+
+    def test_forwarded_registry_records_activity(self):
+        from repro import MetricsRegistry
+
+        registry = MetricsRegistry()
+        session = Session.tpch(scale_factor=0.0005, registry=registry)
+        session.execute("select r_name from region")
+        counters = registry.snapshot()["counters"]
+        assert counters.get("optimizer.batches", 0) == 1
+        assert "plan_cache.miss" in counters
+
+    def test_plan_cache_can_be_disabled(self):
+        session = Session.tpch(scale_factor=0.0005, plan_cache_size=0)
+        assert session.plan_cache is None
+        outcome = session.execute("select r_name from region")
+        assert not outcome.plan_cache_hit
+
+
+class TestParallelExecuteFlags:
+    def test_parallel_true_on_serial_session(self, small_session):
+        outcome = small_session.execute(
+            "select r_name from region", parallel=True
+        )
+        assert outcome.execution.results[0].row_count == 5
+
+    def test_parallel_false_overrides_session_workers(self, small_db):
+        session = Session(small_db, OptimizerOptions(), workers=4)
+        assert session._effective_workers(parallel=False, workers=None) == 1
+        assert session._effective_workers(parallel=None, workers=None) == 4
+        assert session._effective_workers(parallel=None, workers=2) == 2
+
+    def test_explicit_workers_win_over_default(self, small_session):
+        from repro.api import DEFAULT_PARALLEL_WORKERS
+
+        assert (
+            small_session._effective_workers(parallel=True, workers=None)
+            == DEFAULT_PARALLEL_WORKERS
+        )
+        assert (
+            small_session._effective_workers(parallel=True, workers=2) == 2
+        )

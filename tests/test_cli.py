@@ -116,3 +116,24 @@ class TestBenchAll:
         assert "# Experiment report" in output
         assert "Table 1" in output and "Figure 8" in output
         assert "View maintenance" in output
+
+
+class TestParallelFlag:
+    def test_parallel_query_matches_serial(self):
+        from repro.workloads import example1_batch
+
+        sql = example1_batch()
+        code_serial, serial = run_cli("--sf", SF, "query", sql)
+        code_parallel, parallel = run_cli(
+            "--sf", SF, "query", "--parallel", "4", sql
+        )
+        assert code_serial == code_parallel == 0
+        assert parallel == serial  # byte-identical report
+
+    def test_parallel_metrics_counters(self):
+        code, output = run_cli(
+            "--sf", SF, "query", "--parallel", "2", "--metrics",
+            "select r_name from region",
+        )
+        assert code == 0
+        assert "executor.parallel_batches = 1" in output

@@ -64,3 +64,17 @@ def test_explain_costs_golden(small_session, case):
 def test_explain_analyze_golden(small_session, case):
     rendered = small_session.explain(CASES[case], analyze=True)
     _check(f"analyze_{case}", rendered)
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_explain_analyze_parallel_matches_serial_golden(small_session, case):
+    """Parallel execution must not change EXPLAIN ANALYZE output: the same
+    serial golden snapshot must match, modulo the normalized timing
+    fields — plan shapes, actual row counts, measured cost units, spool
+    attribution, and optimizer counters are all execution-order facts."""
+    rendered = small_session.explain(
+        CASES[case], analyze=True, parallel=True, workers=4
+    )
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        return  # snapshots are owned by the serial variant above
+    _check(f"analyze_{case}", rendered)

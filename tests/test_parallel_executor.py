@@ -1,0 +1,174 @@
+"""Concurrency tests for the parallel executor and shared-session serving.
+
+The contract under test: parallel execution is an *optimization only* —
+results, deterministic metrics, and per-operator row counts are identical
+to the serial executor at every worker count, each kept CSE materializes
+exactly once, failures propagate to the caller, and one Session can be
+hammered from many threads without corrupting results or the plan cache.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import OptimizerOptions, Session
+from repro.errors import ExecutionError
+from repro.obs import MetricsRegistry
+from repro.serve import ParallelExecutor
+from repro.workloads import (
+    example1_batch,
+    independent_pairs_batch,
+    scaleup_batch,
+)
+
+BATCHES = {
+    "example1": example1_batch(),
+    "pairs": independent_pairs_batch(),
+    "scaleup6": scaleup_batch(6),
+}
+
+
+def _rows(execution):
+    """(name, columns, rows) per query — full byte-level result identity."""
+    return [
+        (result.name, result.columns, result.rows)
+        for result in execution.results
+    ]
+
+
+@pytest.fixture(scope="module")
+def shared_spool_runs(small_db):
+    """Serial and optimized bundles for both batches, computed once."""
+    session = Session(small_db, OptimizerOptions())
+    runs = {}
+    for name, sql in BATCHES.items():
+        result = session.optimize(sql)
+        serial = session.execute_bundle(result, workers=1)
+        runs[name] = (session, result, serial)
+    return runs
+
+
+@pytest.mark.parametrize("workers", [1, 2, 8])
+@pytest.mark.parametrize("batch", sorted(BATCHES))
+def test_parallel_results_identical_to_serial(
+    shared_spool_runs, batch, workers
+):
+    session, result, serial = shared_spool_runs[batch]
+    parallel = session.execute_bundle(result, workers=workers)
+    assert _rows(parallel) == _rows(serial)
+
+
+@pytest.mark.parametrize("batch", sorted(BATCHES))
+def test_deterministic_metrics_match_serial(shared_spool_runs, batch):
+    session, result, serial = shared_spool_runs[batch]
+    parallel = session.execute_bundle(result, workers=4)
+    assert parallel.metrics.rows_scanned == serial.metrics.rows_scanned
+    assert parallel.metrics.rows_joined == serial.metrics.rows_joined
+    assert (
+        parallel.metrics.spools_materialized
+        == serial.metrics.spools_materialized
+    )
+    assert (
+        parallel.metrics.spool_rows_written
+        == serial.metrics.spool_rows_written
+    )
+    assert parallel.metrics.spool_rows_read == serial.metrics.spool_rows_read
+    assert parallel.metrics.cost_units == pytest.approx(
+        serial.metrics.cost_units
+    )
+
+
+def test_each_kept_cse_materializes_exactly_once(shared_spool_runs):
+    session, result, _ = shared_spool_runs["scaleup6"]
+    assert result.stats.used_cses
+    parallel = session.execute_bundle(result, workers=8)
+    for cse_id in result.stats.used_cses:
+        stats = parallel.metrics.spool_stats[cse_id]
+        assert stats.writes == 1, f"{cse_id} materialized {stats.writes}x"
+        assert stats.reads >= 2, f"{cse_id} is shared; expected 2+ reads"
+
+
+def test_operator_stats_totals_match_serial(shared_spool_runs):
+    session, result, _ = shared_spool_runs["example1"]
+    serial = session.execute_bundle(result, collect_op_stats=True, workers=1)
+    parallel = session.execute_bundle(
+        result, collect_op_stats=True, workers=4
+    )
+    assert serial.op_stats is not None and parallel.op_stats is not None
+    assert set(parallel.op_stats) == set(serial.op_stats)
+    for node_id, stats in serial.op_stats.items():
+        mirrored = parallel.op_stats[node_id]
+        assert mirrored.rows_out == stats.rows_out
+        assert mirrored.invocations == stats.invocations
+
+
+def test_registry_counts_parallel_batches(small_db):
+    registry = MetricsRegistry()
+    session = Session(
+        small_db, OptimizerOptions(), registry=registry, workers=4
+    )
+    session.execute(BATCHES["example1"])
+    counters = registry.snapshot()["counters"]
+    assert counters["executor.parallel_batches"] == 1
+    assert registry.snapshot()["gauges"]["executor.parallel_workers"] == 4
+
+
+def test_worker_failure_propagates(shared_spool_runs):
+    session, result, _ = shared_spool_runs["example1"]
+
+    class FailingExecutor(ParallelExecutor):
+        def _execute_query(self, query_plan, ctx):
+            if query_plan.name == "Q2":
+                raise ExecutionError("injected Q2 failure")
+            return super()._execute_query(query_plan, ctx)
+
+    executor = FailingExecutor(
+        session.database, session.cost_model, workers=4
+    )
+    with pytest.raises(ExecutionError, match="injected Q2 failure"):
+        executor.execute(result.bundle)
+
+
+def test_threads_hammering_one_shared_session(small_db):
+    """8 threads share one Session: mixed serial/parallel executes of two
+    batches must all produce the reference rows, with no leaked errors and
+    a consistent plan cache."""
+    registry = MetricsRegistry()
+    session = Session(small_db, OptimizerOptions(), registry=registry)
+    expected = {
+        name: _rows(session.execute(sql).execution)
+        for name, sql in BATCHES.items()
+    }
+    rounds = 4
+    errors = []
+    mismatches = []
+    ready = threading.Barrier(8)
+
+    def hammer(thread_index: int) -> None:
+        try:
+            ready.wait(timeout=30)
+            for i in range(rounds):
+                name = sorted(BATCHES)[(thread_index + i) % len(BATCHES)]
+                outcome = session.execute(
+                    BATCHES[name], parallel=(i % 2 == 0)
+                )
+                if _rows(outcome.execution) != expected[name]:
+                    mismatches.append((thread_index, name))
+        except Exception as error:  # pragma: no cover - failure path
+            errors.append(error)
+
+    threads = [threading.Thread(target=hammer, args=(t,)) for t in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not any(thread.is_alive() for thread in threads)
+    assert not errors
+    assert not mismatches
+    # Every post-warmup lookup hit the cache; nothing invalidated it.
+    counters = registry.snapshot()["counters"]
+    assert counters["plan_cache.miss"] == len(BATCHES)
+    assert counters["plan_cache.hit"] == 8 * rounds
+    assert "plan_cache.invalidation" not in counters
