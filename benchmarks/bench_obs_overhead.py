@@ -4,9 +4,12 @@ The registry's design goal is near-zero cost when disabled and small
 single-digit-percent cost when enabled (increments are per operator or per
 phase, never per row). This benchmark runs the adapted TPC-H suite both
 ways — interleaved rounds, trimmed means — and asserts the enabled
-registry stays under a 5% overhead budget.
+registry stays under an overhead budget (default 5%; override with the
+``REPRO_OBS_OVERHEAD_BUDGET`` env var, a fraction, e.g. ``0.08`` for
+noisy CI runners).
 """
 
+import os
 import time
 
 from repro.api import Session
@@ -15,6 +18,8 @@ from repro.optimizer.options import OptimizerOptions
 from repro.workloads.tpch_queries import ADAPTED_QUERIES
 
 ROUNDS = 9
+#: allowed (enabled - disabled) / disabled wall-time fraction.
+OVERHEAD_BUDGET = float(os.environ.get("REPRO_OBS_OVERHEAD_BUDGET", "0.05"))
 #: a representative slice of the suite: joins, aggregation, a spool-heavy
 #: batch would hide optimizer overhead behind execution, so use singles.
 SUITE = ["Q1", "Q3", "Q5", "Q10"]
@@ -68,11 +73,13 @@ def test_metrics_overhead_under_budget(benchmark, bench_db):
     counters = enabled.registry.snapshot()["counters"]
     assert counters.get("optimizer.batches", 0) >= ROUNDS * len(SUITE)
     assert counters.get("executor.operator_invocations", 0) > 0
-    # Budget: enabled metrics must cost < 5% wall time on the suite.
-    assert overhead < 0.05, (
-        f"metrics overhead {overhead * 100:.2f}% exceeds the 5% budget"
+    # Budget: enabled metrics must cost < OVERHEAD_BUDGET wall time.
+    assert overhead < OVERHEAD_BUDGET, (
+        f"metrics overhead {overhead * 100:.2f}% exceeds the "
+        f"{OVERHEAD_BUDGET * 100:.0f}% budget"
     )
     benchmark.extra_info["overhead"] = round(overhead, 4)
+    benchmark.extra_info["budget"] = OVERHEAD_BUDGET
     benchmark.extra_info["enabled_ms"] = round(on * 1000, 2)
     benchmark.extra_info["disabled_ms"] = round(off * 1000, 2)
     benchmark(lambda: _run_suite(enabled))

@@ -17,14 +17,28 @@ Public entry points:
 * :func:`build_tpch_database` — the synthetic TPC-H substrate.
 * :class:`OptimizerOptions` — CSE knobs (α, β, heuristics, stacking, …).
 * :class:`MetricsRegistry` / :class:`Tracer` — opt-in observability sinks
-  for optimizer/executor counters and structured trace events.
+  for optimizer/executor counters, latency histograms, and structured
+  trace events; :class:`TelemetryServer` exposes a registry over HTTP in
+  Prometheus text format (``Session(telemetry_port=...)``).
+* :class:`QueryLog` — one structured JSONL record per executed batch,
+  with slow queries carrying their full EXPLAIN ANALYZE tree.
+* :class:`DecisionJournal` — the optimizer's per-candidate decision
+  journal (``Session.explain(why=True)``, ``repro explain --why``).
 * :class:`PlanCache` / :class:`ParallelExecutor` — the serving layer:
   signature-keyed plan caching and dependency-aware parallel batch
   execution (``Session(workers=N)``, ``execute(parallel=True)``).
 """
 
 from .api import ExecutionOutcome, Session
-from .obs import MetricsRegistry, Tracer
+from .obs import (
+    DecisionJournal,
+    Histogram,
+    MetricsRegistry,
+    QueryLog,
+    TelemetryServer,
+    Tracer,
+    render_prometheus,
+)
 from .serve import ParallelExecutor, PlanCache
 from .catalog.tpch import build_tpch_database
 from .errors import (
@@ -54,6 +68,11 @@ __all__ = [
     "CostModel",
     "MetricsRegistry",
     "Tracer",
+    "Histogram",
+    "TelemetryServer",
+    "QueryLog",
+    "DecisionJournal",
+    "render_prometheus",
     "PlanCache",
     "ParallelExecutor",
     "ReproError",

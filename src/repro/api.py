@@ -24,12 +24,23 @@ from __future__ import annotations
 
 import weakref
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Optional, Sequence, Union
 
 from .errors import ReproError
 from .executor.executor import BatchResult, Executor
 from .logical.blocks import BoundBatch, BoundQuery
-from .obs import NULL_REGISTRY, NULL_TRACER, MetricsRegistry, Tracer
+from .obs import (
+    NULL_JOURNAL,
+    NULL_QUERY_LOG,
+    NULL_REGISTRY,
+    NULL_TRACER,
+    DecisionJournal,
+    MetricsRegistry,
+    QueryLog,
+    TelemetryServer,
+    Tracer,
+)
 from .optimizer.cost import CostModel
 from .optimizer.engine import OptimizationResult, Optimizer
 from .optimizer.options import OptimizerOptions
@@ -71,6 +82,19 @@ class Session:
     (``0`` disables caching): a warm :meth:`execute` skips optimization
     entirely, and any mutation of the underlying :class:`Database`
     invalidates the affected entries.
+
+    Telemetry sinks (all optional, all no-ops by default):
+
+    * ``registry`` — counters/timers/histograms; ``telemetry_port`` starts
+      an HTTP server exposing it at ``/metrics`` in Prometheus text format
+      (pass ``0`` for an ephemeral port; see ``session.telemetry.url``).
+      Setting a port with no registry creates one implicitly.
+    * ``query_log`` — one structured JSONL record per :meth:`execute`;
+      records over the log's ``slow_ms`` threshold carry the full EXPLAIN
+      ANALYZE tree of the run that was measured (no re-execution).
+    * ``journal`` — the optimizer's decision journal: every candidate's
+      lifecycle from signature bucket to keep/reject verdict. Also
+      available per-call via ``explain(..., why=True)``.
     """
 
     def __init__(
@@ -82,14 +106,30 @@ class Session:
         tracer: Optional[Tracer] = None,
         workers: int = 1,
         plan_cache_size: int = 64,
+        journal: Optional[DecisionJournal] = None,
+        query_log: Optional[QueryLog] = None,
+        telemetry_port: Optional[int] = None,
     ) -> None:
         self.database = database
         self.options = options or OptimizerOptions()
         self.cost_model = cost_model or CostModel()
         #: observability sinks shared by every optimize/execute on this
         #: session; the null defaults make instrumentation a no-op.
+        if registry is None and telemetry_port is not None:
+            registry = MetricsRegistry()
         self.registry = registry or NULL_REGISTRY
         self.tracer = tracer or NULL_TRACER
+        # Explicit None checks: journals and query logs are sized containers,
+        # so a fresh (empty) one is falsy and `or` would drop it.
+        self.journal = journal if journal is not None else NULL_JOURNAL
+        self.query_log = (
+            query_log if query_log is not None else NULL_QUERY_LOG
+        )
+        self.telemetry: Optional[TelemetryServer] = None
+        if telemetry_port is not None:
+            self.telemetry = TelemetryServer(
+                self.registry, port=telemetry_port
+            ).start()
         self.workers = max(1, workers)
         self.plan_cache = None
         if plan_cache_size > 0:
@@ -139,9 +179,14 @@ class Session:
     # -- optimization & execution ------------------------------------------
 
     def optimize(
-        self, target: Union[str, BoundBatch, BoundQuery]
+        self,
+        target: Union[str, BoundBatch, BoundQuery],
+        journal: Optional[DecisionJournal] = None,
     ) -> OptimizationResult:
-        """Optimize a batch (CSE detection/exploitation per session options)."""
+        """Optimize a batch (CSE detection/exploitation per session options).
+
+        ``journal`` overrides the session's decision journal for this call
+        (``explain(why=True)`` uses this to scope the report to one batch)."""
         batch = self._as_batch(target)
         optimizer = Optimizer(
             self.database,
@@ -149,6 +194,7 @@ class Session:
             self.cost_model,
             registry=self.registry,
             tracer=self.tracer,
+            journal=journal if journal is not None else self.journal,
         )
         return optimizer.optimize(batch)
 
@@ -167,13 +213,70 @@ class Session:
         ``parallel=False`` forces serial execution. With the default
         ``parallel=None``, the session's ``workers`` setting decides."""
         batch = self._as_batch(target)
+        # A slow-query threshold means we may need the analyzed tree of
+        # *this* run; collect operator stats up front rather than re-run.
+        if self.query_log.enabled and self.query_log.slow_ms is not None:
+            collect_op_stats = True
+        start = perf_counter()
         result, cache_hit = self._cached_optimize(batch)
         execution = self.execute_bundle(
             result, collect_op_stats, parallel=parallel, workers=workers
         )
-        return ExecutionOutcome(
+        wall = perf_counter() - start
+        self.registry.observe("serve.query_seconds", wall)
+        outcome = ExecutionOutcome(
             optimization=result, execution=execution, plan_cache_hit=cache_hit
         )
+        if self.query_log.enabled:
+            self._log_query(batch, outcome, wall)
+        return outcome
+
+    def _log_query(
+        self, batch: BoundBatch, outcome: ExecutionOutcome, wall: float
+    ) -> None:
+        """Append one structured record for an executed batch."""
+        from .serve import batch_fingerprint
+
+        stats = outcome.optimization.stats
+        metrics = outcome.execution.metrics
+        wall_ms = wall * 1000.0
+        record = {
+            "fingerprint": batch_fingerprint(batch),
+            "queries": [q.name for q in batch.queries],
+            "plan_cache_hit": outcome.plan_cache_hit,
+            "candidates_generated": stats.candidates_generated,
+            "candidates_kept": len(stats.used_cses),
+            "cses_used": list(stats.used_cses),
+            "spool_rows_written": metrics.spool_rows_written,
+            "spool_rows_read": metrics.spool_rows_read,
+            "estimated_savings": round(
+                stats.est_cost_no_cse - stats.est_cost_final, 4
+            ),
+            "wall_ms": round(wall_ms, 3),
+            "rows": sum(r.row_count for r in outcome.execution.results),
+        }
+        if self.query_log.is_slow(wall_ms):
+            from .optimizer.explain import render_analyzed_bundle
+
+            record["explain_analyze"] = render_analyzed_bundle(
+                self.database,
+                outcome.optimization,
+                outcome.execution,
+                self.cost_model,
+            )
+        self.query_log.record(record)
+
+    def close(self) -> None:
+        """Stop the telemetry server, if one was started."""
+        if self.telemetry is not None:
+            self.telemetry.stop()
+            self.telemetry = None
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def _cached_optimize(
         self, batch: BoundBatch
@@ -233,6 +336,7 @@ class Session:
         analyze: bool = False,
         parallel: Optional[bool] = None,
         workers: Optional[int] = None,
+        why: bool = False,
     ) -> str:
         """The optimized plan as text, including any shared spools.
 
@@ -240,7 +344,23 @@ class Session:
         cumulative estimated cost. With ``analyze=True`` the bundle is
         *executed* and each operator additionally reports actual rows and
         wall time, plus spool cost attribution and optimizer counters.
+        With ``why=True`` the report instead explains the optimizer's
+        decisions: every candidate CSE's lifecycle from signature bucket
+        through the H1–H4 heuristics to its keep/reject verdict.
         """
+        if why:
+            # A fresh journal scopes the report to this batch even when the
+            # session carries a long-lived one.
+            journal = DecisionJournal()
+            result = self.optimize(target, journal=journal)
+            header = [
+                f"estimated cost: {result.est_cost:.2f} "
+                f"(without CSEs: {result.stats.est_cost_no_cse:.2f})",
+                f"candidates: {result.stats.candidate_ids}"
+                f" used: {result.stats.used_cses}",
+                "",
+            ]
+            return "\n".join(header) + journal.render_why()
         result = self.optimize(target)
         if analyze:
             from .optimizer.explain import explain_analyze

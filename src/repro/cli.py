@@ -72,6 +72,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="FILE",
         help="write optimizer trace events (JSON lines) to FILE",
     )
+    query.add_argument(
+        "--query-log", metavar="FILE",
+        help="append one structured JSONL record per executed batch to FILE",
+    )
+    query.add_argument(
+        "--slow-ms", type=float, metavar="MS", default=None,
+        help=(
+            "queries slower than MS milliseconds are flagged slow in the "
+            "query log and carry their full EXPLAIN ANALYZE tree"
+        ),
+    )
 
     explain = sub.add_parser("explain", help="print the optimized plan")
     explain.add_argument("sql")
@@ -88,11 +99,43 @@ def build_parser() -> argparse.ArgumentParser:
             "time, spool cost attribution, and optimizer counters"
         ),
     )
+    explain.add_argument(
+        "--why", action="store_true",
+        help=(
+            "print the optimizer decision journal: every candidate CSE's "
+            "lifecycle (signature bucket, H1-H4 verdicts with the numbers "
+            "used, LCA placement, keep/reject reason)"
+        ),
+    )
 
     bench = sub.add_parser(
         "bench", help="reproduce one of the paper's experiments"
     )
     bench.add_argument("experiment", choices=_BENCH_CHOICES)
+
+    serve = sub.add_parser(
+        "serve-metrics",
+        help=(
+            "execute a batch repeatedly and expose /metrics (Prometheus "
+            "text format) and /healthz over HTTP"
+        ),
+    )
+    serve.add_argument("sql", help="SQL batch to serve")
+    serve.add_argument(
+        "--port", type=int, default=9464,
+        help="HTTP port for /metrics and /healthz (0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--iterations", type=int, default=1, metavar="N",
+        help=(
+            "execute the batch N times before serving (warms the plan "
+            "cache and populates histograms); 0 serves an empty registry"
+        ),
+    )
+    serve.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="serve for SECONDS then exit (default: until interrupted)",
+    )
     return parser
 
 
@@ -114,12 +157,16 @@ def _cmd_query(args: argparse.Namespace, out) -> int:
         results = run_scenario(database, args.sql)
         print(format_table("comparison", results), file=out)
         return 0
-    registry = tracer = None
+    registry = tracer = query_log = None
     if args.metrics or args.trace:
         from .obs import MetricsRegistry, Tracer
 
         registry = MetricsRegistry() if args.metrics else None
         tracer = Tracer() if args.trace else None
+    if args.query_log:
+        from .obs import QueryLog
+
+        query_log = QueryLog(path=args.query_log, slow_ms=args.slow_ms)
     workers = args.parallel if args.parallel and args.parallel > 1 else 1
     session = Session(
         database,
@@ -127,6 +174,7 @@ def _cmd_query(args: argparse.Namespace, out) -> int:
         registry=registry,
         tracer=tracer,
         workers=workers,
+        query_log=query_log,
     )
     outcome = session.execute(args.sql)
     stats = outcome.optimization.stats
@@ -164,6 +212,13 @@ def _cmd_query(args: argparse.Namespace, out) -> int:
     if tracer is not None:
         count = tracer.write(args.trace)
         print(f"\n-- wrote {count} trace event(s) to {args.trace}", file=out)
+    if query_log is not None:
+        slow = len(query_log.slow_queries())
+        print(
+            f"\n-- query log: {len(query_log)} record(s) "
+            f"({slow} slow) appended to {args.query_log}",
+            file=out,
+        )
     return 0
 
 
@@ -171,9 +226,42 @@ def _cmd_explain(args: argparse.Namespace, out) -> int:
     session = Session.tpch(scale_factor=args.sf, seed=args.seed)
     session.options = _options(args)
     print(
-        session.explain(args.sql, costs=args.costs, analyze=args.analyze),
+        session.explain(
+            args.sql, costs=args.costs, analyze=args.analyze, why=args.why
+        ),
         file=out,
     )
+    return 0
+
+
+def _cmd_serve_metrics(args: argparse.Namespace, out) -> int:
+    import time
+
+    from .obs import MetricsRegistry, TelemetryServer
+
+    registry = MetricsRegistry()
+    session = Session.tpch(
+        scale_factor=args.sf, seed=args.seed, registry=registry
+    )
+    for _ in range(max(0, args.iterations)):
+        session.execute(args.sql)
+    server = TelemetryServer(registry, port=args.port).start()
+    print(
+        f"serving {server.url}/metrics and {server.url}/healthz "
+        f"(after {args.iterations} execution(s))",
+        file=out,
+    )
+    try:
+        if args.duration is not None:
+            time.sleep(max(0.0, args.duration))
+        else:
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    print("telemetry server stopped", file=out)
     return 0
 
 
@@ -277,6 +365,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _cmd_explain(args, out)
         if args.command == "bench":
             return _cmd_bench(args, out)
+        if args.command == "serve-metrics":
+            return _cmd_serve_metrics(args, out)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

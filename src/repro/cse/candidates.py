@@ -18,12 +18,14 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..errors import OptimizerError
+from ..obs import active_journal
 from ..optimizer.cardinality import CardinalityEstimator
 from ..optimizer.cost import CostModel
 from ..optimizer.memo import BlockInfo, Group
 from .construct import CseDefinition, construct_cse
 from .heuristics import (
     PruneTrace,
+    consumer_lower_bound,
     heuristic1_keep,
     heuristic2_filter,
     merge_benefit,
@@ -94,6 +96,7 @@ def generate_candidates(
     trace: Optional[PruneTrace] = None,
 ) -> List[CseDefinition]:
     """Generate candidate CSEs for one join-compatible consumer set."""
+    journal = active_journal()
     consumers = sorted(compatible_set, key=lambda g: g.gid)
     if len(consumers) < 2:
         return []
@@ -107,13 +110,38 @@ def generate_candidates(
             estimator,
         )
 
+    def journal_candidate(definition: CseDefinition) -> CseDefinition:
+        if journal.enabled:
+            journal.event(
+                "candidate",
+                cse_id=definition.cse_id,
+                signature=repr(definition.signature),
+                consumers=[f"g{g.gid}" for g in definition.consumer_groups],
+                est_rows=definition.est_rows,
+            )
+        return definition
+
+    def journal_h1(members: Sequence[Group], passed: bool) -> None:
+        if journal.enabled:
+            journal.event(
+                "h1",
+                signature="set:" + ",".join(f"g{g.gid}" for g in members),
+                lower_bound_sum=sum(
+                    consumer_lower_bound(g) for g in members
+                ),
+                threshold=alpha * batch_cost,
+                alpha=alpha,
+                passed=passed,
+            )
+
     if not use_heuristics:
         # One candidate covering all consumers of the compatible set.
-        return [build(consumers, id_allocator())]
+        return [journal_candidate(build(consumers, id_allocator()))]
 
     # Heuristic 1 (second application; the engine applied it per signature
     # bucket before compatibility analysis).
     if not heuristic1_keep(consumers, batch_cost, alpha):
+        journal_h1(consumers, passed=False)
         if trace is not None:
             trace.heuristic1.append(
                 "set:" + ",".join(f"g{g.gid}" for g in consumers)
@@ -125,11 +153,13 @@ def generate_candidates(
     if len(consumers) < 2:
         return []
     if not heuristic1_keep(consumers, batch_cost, alpha):
+        journal_h1(consumers, passed=False)
         if trace is not None:
             trace.heuristic1.append(
                 "set:" + ",".join(f"g{g.gid}" for g in consumers)
             )
         return []
+    journal_h1(consumers, passed=True)
 
     # Algorithm 1: greedy merging driven by the benefit Δ (Heuristic 3).
     candidates: List[CseDefinition] = []
@@ -142,6 +172,7 @@ def generate_candidates(
         merged_any = False
         while remaining:
             best_delta = 0.0
+            top_delta = float("-inf")
             best_index = -1
             best_merged: Optional[CseDefinition] = None
             for index, other in enumerate(remaining):
@@ -153,22 +184,43 @@ def generate_candidates(
                 delta = merge_benefit(
                     merged, current_sources + [other_def], cost_model
                 )
+                if delta > top_delta:
+                    top_delta = delta
                 if delta > best_delta:
                     best_delta = delta
                     best_index = index
                     best_merged = merged
             if best_merged is None:
-                if trace is not None and remaining:
-                    trace.heuristic3.append(
-                        f"stop@{len(members)} members"
-                    )
+                if remaining:
+                    if trace is not None:
+                        trace.heuristic3.append(
+                            f"stop@{len(members)} members"
+                        )
+                    if journal.enabled:
+                        journal.event(
+                            "h3",
+                            members=[f"g{g.gid}" for g in members],
+                            delta=(
+                                top_delta
+                                if top_delta > float("-inf")
+                                else 0.0
+                            ),
+                            merged=False,
+                        )
                 break
             members.append(remaining.pop(best_index))
+            if journal.enabled:
+                journal.event(
+                    "h3",
+                    members=[f"g{g.gid}" for g in members],
+                    delta=best_delta,
+                    merged=True,
+                )
             current = best_merged
             current_sources = [current]
             merged_any = True
         if merged_any:
-            final = build(members, id_allocator())
+            final = journal_candidate(build(members, id_allocator()))
             candidates.append(final)
         # Un-merged seeds are dropped (a trivial CSE with one consumer is
         # never useful); the while loop retries with the rest.

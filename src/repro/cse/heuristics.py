@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..obs import active_registry
+from ..obs import active_journal, active_registry
 from ..optimizer.cost import CostModel
 from ..optimizer.memo import Group, Memo
 from .construct import CseDefinition
@@ -85,6 +85,7 @@ def heuristic2_filter(
     n = len(consumers)
     if n == 0:
         return []
+    journal = active_journal()
     kept: List[Group] = []
     for group in consumers:
         upper = consumer_upper_bound(group)
@@ -92,7 +93,17 @@ def heuristic2_filter(
         width = group.row_width
         c_w = cost_model.spool_write(rows, width)
         c_r = cost_model.spool_read(rows, width)
-        if upper < c_r + (upper + c_w) / n:
+        keep_cost = c_r + (upper + c_w) / n
+        dropped = upper < keep_cost
+        if journal.enabled:
+            journal.event(
+                "h2",
+                consumer=f"g{group.gid}",
+                upper=upper,
+                keep_cost=keep_cost,
+                dropped=dropped,
+            )
+        if dropped:
             if trace is not None:
                 trace.heuristic2.append(f"g{group.gid}")
             active_registry().counter("cse.heuristic2_consumer_drops")
@@ -166,6 +177,7 @@ def heuristic4_filter(
     exceeds β × the containing candidate's (S_c > β × S_p): the wider
     candidate shares more computation *and* is not meaningfully larger."""
     registry = active_registry()
+    journal = active_journal()
     kept: List[CseDefinition] = []
     for inner in candidates:
         pruned = False
@@ -174,7 +186,18 @@ def heuristic4_filter(
                 continue
             registry.counter("cse.containment_checks")
             if is_contained(inner, outer, memo):
-                if inner.est_bytes > beta * outer.est_bytes:
+                contained_prunes = inner.est_bytes > beta * outer.est_bytes
+                if journal.enabled:
+                    journal.event(
+                        "h4",
+                        inner=inner.cse_id,
+                        outer=outer.cse_id,
+                        inner_bytes=inner.est_bytes,
+                        outer_bytes=outer.est_bytes,
+                        beta=beta,
+                        pruned=contained_prunes,
+                    )
+                if contained_prunes:
                     pruned = True
                     break
         if pruned:

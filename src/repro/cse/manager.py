@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Tuple
 
+from ..obs import active_journal
 from ..optimizer.memo import Group
 from .signature import TableSignature
 
@@ -47,13 +48,21 @@ class CseManager:
         """Signature buckets referencing at least two distinct groups with
         pairwise-disjoint table instances — only such groups can co-occur in
         one final plan and therefore share a computed result."""
+        journal = active_journal()
         result: List[Tuple[TableSignature, List[Group]]] = []
         for signature, groups in sorted(
             self._buckets.items(), key=lambda kv: kv[0]
         ):
             if len(groups) < 2:
                 continue
-            if self._has_disjoint_pair(groups):
+            sharable = self._has_disjoint_pair(groups)
+            journal.event(
+                "bucket",
+                signature=repr(signature),
+                groups=len(groups),
+                sharable=sharable,
+            )
+            if sharable:
                 result.append((signature, list(groups)))
         return result
 

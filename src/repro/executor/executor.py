@@ -211,6 +211,7 @@ class Executor:
                 stats.invocations += 1
                 stats.rows_out += rows
                 stats.wall_time += elapsed
+                stats.add_timer("finalize", elapsed)
         return names, columns
 
 

@@ -360,6 +360,10 @@ def _spool_read(plan: PhysSpoolRead, ctx: ExecutionContext) -> Frame:
     spool.rows_read += rows
     spool.read_row_counts.append(rows)
     spool.read_cost_units += read_cost
+    ctx.registry.observe("executor.spool_read_rows", rows)
+    ctx.registry.observe(
+        "executor.spool_read_bytes", rows * worktable.row_width()
+    )
     return frame
 
 
@@ -398,11 +402,17 @@ def materialize_spool(
     # cost units (everything charged while producing the frame) plus C_W.
     spool.write_cost_units += ctx.metrics.cost_units - cost_before
     spool.materialize_wall_time += elapsed
+    ctx.registry.observe("executor.spool_write_rows", worktable.row_count)
+    ctx.registry.observe(
+        "executor.spool_write_bytes",
+        worktable.row_count * worktable.row_width(),
+    )
     if ctx.op_stats is not None:
         stats = ctx.stats_for(body)
         stats.invocations += 1
         stats.rows_out += worktable.row_count
         stats.wall_time += elapsed
+        stats.add_timer("materialize", elapsed)
     return worktable
 
 

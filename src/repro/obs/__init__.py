@@ -1,11 +1,24 @@
-"""Observability: metrics, tracing, and EXPLAIN ANALYZE support.
+"""Observability: metrics, histograms, tracing, export, and audit logs.
 
 This package is dependency-free within :mod:`repro` (nothing here imports
-the optimizer or executor) so any layer can emit metrics or trace events
-without import cycles. See README.md § Observability for the counter and
-trace schemas.
+the optimizer or executor) so any layer can emit metrics, trace events,
+journal entries, or query-log records without import cycles. See
+README.md § Observability and § Telemetry for the schemas.
 """
 
+from .exporter import (
+    TelemetryServer,
+    parse_prometheus_text,
+    render_prometheus,
+    sanitize_metric_name,
+)
+from .histogram import DEFAULT_BOUNDS, Histogram
+from .journal import (
+    NULL_JOURNAL,
+    DecisionJournal,
+    active_journal,
+    use_journal,
+)
 from .metrics import (
     NULL_REGISTRY,
     MetricsRegistry,
@@ -14,6 +27,7 @@ from .metrics import (
     active_registry,
     use_registry,
 )
+from .querylog import NULL_QUERY_LOG, QueryLog
 from .trace import NULL_TRACER, TraceEvent, Tracer
 
 __all__ = [
@@ -23,6 +37,18 @@ __all__ = [
     "TimerStats",
     "active_registry",
     "use_registry",
+    "Histogram",
+    "DEFAULT_BOUNDS",
+    "render_prometheus",
+    "parse_prometheus_text",
+    "sanitize_metric_name",
+    "TelemetryServer",
+    "QueryLog",
+    "NULL_QUERY_LOG",
+    "DecisionJournal",
+    "NULL_JOURNAL",
+    "active_journal",
+    "use_journal",
     "Tracer",
     "TraceEvent",
     "NULL_TRACER",

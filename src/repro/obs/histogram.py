@@ -1,0 +1,150 @@
+"""Fixed log-bucket histograms for latency and size distributions.
+
+A :class:`Histogram` accumulates observations into a fixed, precomputed set
+of logarithmically spaced buckets (powers of two from 2^-20 ≈ 1 µs to
+2^30 ≈ 1 G), so the write path is one ``bisect`` plus a few adds under a
+lock — no allocation, no sorting, and memory stays constant no matter how
+many observations arrive. Quantiles (p50/p95/p99) are estimated from the
+bucket counts with log-linear interpolation inside the winning bucket,
+which bounds the relative error by the bucket ratio (2×) and in practice
+stays well inside it.
+
+The same bucket layout serves both uses the registry wires up: wall-clock
+seconds (optimizer phases, per-query serve latency, plan-cache hits) and
+spool transfer sizes (rows and bytes written/read per Definition 5.1).
+One layout keeps the Prometheus exposition stable across metric families.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, List, Sequence, Tuple
+
+#: Upper bucket bounds (inclusive, ``le`` semantics): 2^-20 … 2^30.
+#: Fixed at import time so every histogram shares one layout and the
+#: exporter can render cumulative buckets without coordination.
+DEFAULT_BOUNDS: Tuple[float, ...] = tuple(
+    float(2.0 ** exponent) for exponent in range(-20, 31)
+)
+
+
+class Histogram:
+    """Thread-safe fixed-bucket histogram with quantile snapshots.
+
+    ``bounds`` are inclusive upper edges; one overflow bucket catches
+    anything above the last bound. Negative observations clamp into the
+    first bucket (they cannot occur for durations/sizes, but a clamp is
+    safer than an exception on a telemetry path).
+    """
+
+    __slots__ = ("bounds", "_counts", "_lock", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BOUNDS) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be sorted and non-empty")
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        self._counts: List[int] = [0] * (len(self.bounds) + 1)
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    # -- write path --------------------------------------------------------
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    def merge(self, other: "Histogram") -> None:
+        """Accumulate another histogram with the same bucket layout."""
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        with other._lock:
+            counts = list(other._counts)
+            count, total = other.count, other.total
+            low, high = other.min, other.max
+        with self._lock:
+            for index, n in enumerate(counts):
+                self._counts[index] += n
+            self.count += count
+            self.total += total
+            if low < self.min:
+                self.min = low
+            if high > self.max:
+                self.max = high
+
+    # -- read path ---------------------------------------------------------
+
+    def bucket_counts(self) -> List[Tuple[float, int]]:
+        """Per-bucket (upper bound, count) pairs; the overflow bucket is
+        reported with an infinite bound."""
+        with self._lock:
+            counts = list(self._counts)
+        pairs = [(bound, counts[i]) for i, bound in enumerate(self.bounds)]
+        pairs.append((float("inf"), counts[-1]))
+        return pairs
+
+    def quantile(self, q: float) -> float:
+        """Estimated value at quantile ``q`` ∈ [0, 1] (0.0 when empty).
+
+        Finds the bucket holding the target rank and interpolates linearly
+        between its edges; ranks in the overflow bucket report the observed
+        maximum (the least wrong single answer available)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        with self._lock:
+            counts = list(self._counts)
+            count = self.count
+            observed_min, observed_max = self.min, self.max
+        if count == 0:
+            return 0.0
+        rank = q * count
+        cumulative = 0
+        for index, bucket_count in enumerate(counts):
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                if index >= len(self.bounds):
+                    return observed_max
+                upper = self.bounds[index]
+                lower = self.bounds[index - 1] if index else min(
+                    observed_min, upper
+                )
+                lower = max(lower, 0.0)
+                fraction = (rank - (cumulative - bucket_count)) / bucket_count
+                estimate = lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+                # Never estimate outside the observed range.
+                return min(max(estimate, observed_min), observed_max)
+        return observed_max
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Point-in-time summary: count/sum/min/max plus p50/p95/p99."""
+        with self._lock:
+            count = self.count
+            total = self.total
+            observed_min = self.min if self.count else 0.0
+            observed_max = self.max if self.count else 0.0
+        return {
+            "count": count,
+            "sum": total,
+            "min": observed_min,
+            "max": observed_max,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }

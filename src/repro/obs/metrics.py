@@ -27,6 +27,8 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Dict, Iterator, Optional
 
+from .histogram import Histogram
+
 
 @dataclass
 class TimerStats:
@@ -53,14 +55,25 @@ class OperatorStats:
     invocations: int = 0
     rows_out: int = 0
     wall_time: float = 0.0
+    #: named wall-time components (e.g. ``materialize`` for spool bodies,
+    #: ``finalize`` for the project/sort chain) — a breakdown of
+    #: ``wall_time``, keyed by phase name.
+    timers: Dict[str, float] = field(default_factory=dict)
+
+    def add_timer(self, name: str, seconds: float) -> None:
+        """Accumulate one named wall-time component."""
+        self.timers[name] = self.timers.get(name, 0.0) + seconds
 
     def merge(self, other: "OperatorStats") -> None:
         """Accumulate another slot for the same operator (a plan node
         shared between concurrently executed queries gets one stats slot
-        per worker; merging reproduces the serial single-slot totals)."""
+        per worker; merging reproduces the serial single-slot totals,
+        including the per-phase timer map)."""
         self.invocations += other.invocations
         self.rows_out += other.rows_out
         self.wall_time += other.wall_time
+        for name, seconds in other.timers.items():
+            self.timers[name] = self.timers.get(name, 0.0) + seconds
 
 
 class _NullTimer:
@@ -104,7 +117,9 @@ class MetricsRegistry:
     spans (``bench.optimize``).
     """
 
-    __slots__ = ("enabled", "_lock", "_counters", "_gauges", "_timers")
+    __slots__ = (
+        "enabled", "_lock", "_counters", "_gauges", "_timers", "_histograms"
+    )
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
@@ -112,6 +127,7 @@ class MetricsRegistry:
         self._counters: Dict[str, float] = {}
         self._gauges: Dict[str, float] = {}
         self._timers: Dict[str, TimerStats] = {}
+        self._histograms: Dict[str, Histogram] = {}
 
     # -- mutators ----------------------------------------------------------
 
@@ -146,12 +162,25 @@ class MetricsRegistry:
             stats.count += 1
             stats.total += seconds
 
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into histogram ``name`` (no-op when
+        disabled). Histograms are created on first use with the shared
+        log-bucket layout (:data:`~repro.obs.histogram.DEFAULT_BOUNDS`)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram()
+        histogram.observe(value)
+
     def reset(self) -> None:
         """Clear all recorded values (the enabled flag is untouched)."""
         with self._lock:
             self._counters.clear()
             self._gauges.clear()
             self._timers.clear()
+            self._histograms.clear()
 
     # -- readers -----------------------------------------------------------
 
@@ -168,10 +197,18 @@ class MetricsRegistry:
             stats = self._timers.get(name)
             return stats.total if stats else 0.0
 
-    def snapshot(self) -> Dict[str, Any]:
-        """A point-in-time copy: ``{"counters", "gauges", "timers"}``."""
+    def histogram(self, name: str) -> Optional[Histogram]:
+        """The histogram recorded under ``name``, if any."""
         with self._lock:
-            return {
+            return self._histograms.get(name)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A point-in-time copy:
+        ``{"counters", "gauges", "timers", "histograms"}``. Histogram
+        entries carry count/sum/min/max and p50/p95/p99 estimates."""
+        with self._lock:
+            histograms = dict(self._histograms)
+            payload = {
                 "counters": dict(self._counters),
                 "gauges": dict(self._gauges),
                 "timers": {
@@ -179,12 +216,26 @@ class MetricsRegistry:
                     for name, s in self._timers.items()
                 },
             }
+        # Histogram snapshots take each histogram's own lock; never while
+        # holding the registry lock.
+        payload["histograms"] = {
+            name: histogram.snapshot() for name, histogram in histograms.items()
+        }
+        return payload
+
+    def render_prometheus(self) -> str:
+        """This registry in Prometheus text exposition format (0.0.4)."""
+        from .exporter import render_prometheus  # local: exporter imports us
+
+        return render_prometheus(self)
 
     def merge(self, other: "MetricsRegistry") -> None:
         """Accumulate another registry's values into this one."""
         incoming = other.snapshot()
         if not self.enabled:
             return
+        with other._lock:
+            incoming_histograms = dict(other._histograms)
         with self._lock:
             for name, value in incoming["counters"].items():
                 self._counters[name] = self._counters.get(name, 0) + value
@@ -195,6 +246,11 @@ class MetricsRegistry:
                     stats = self._timers[name] = TimerStats()
                 stats.count += timer["count"]
                 stats.total += timer["total"]
+            for name, histogram in incoming_histograms.items():
+                mine = self._histograms.get(name)
+                if mine is None:
+                    mine = self._histograms[name] = Histogram(histogram.bounds)
+                mine.merge(histogram)
 
 
 #: The default, disabled registry: every call is a cheap no-op.

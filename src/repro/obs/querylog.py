@@ -1,0 +1,120 @@
+"""Structured query log: one JSONL record per executed batch.
+
+A :class:`QueryLog` is the serving layer's audit trail. The
+:class:`~repro.api.Session` appends one record per ``execute()`` call
+carrying the facts an operator greps for: batch fingerprint, plan-cache
+hit/miss, candidate CSEs generated → kept, measured spool savings, wall
+time, and row counts. When the batch is slower than ``slow_ms`` the
+record also embeds the full EXPLAIN ANALYZE tree, so a slow query ships
+its own postmortem instead of requiring a re-run.
+
+The log itself is deliberately dumb — it validates, timestamps, buffers,
+and (optionally) appends to a JSONL file under a lock. The record
+*content* is assembled by the session; this module has no imports from
+the optimizer or executor, keeping ``obs/`` dependency-free.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from time import time as wall_clock
+from typing import Any, Dict, List, Optional
+
+#: Keys every record is guaranteed to carry (the session fills them).
+RECORD_FIELDS = (
+    "ts",
+    "fingerprint",
+    "queries",
+    "plan_cache_hit",
+    "candidates_generated",
+    "candidates_kept",
+    "spool_rows_written",
+    "spool_rows_read",
+    "estimated_savings",
+    "wall_ms",
+    "rows",
+    "slow",
+)
+
+
+class QueryLog:
+    """Append-only, thread-safe JSONL query log.
+
+    ``path=None`` keeps records in memory only (tests, ad-hoc sessions);
+    with a path each record is appended and flushed immediately so a
+    crash loses at most the in-flight record. ``slow_ms`` is the
+    threshold at which the session attaches an EXPLAIN ANALYZE tree —
+    the log only stamps the boolean; measuring is the caller's job.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        slow_ms: Optional[float] = None,
+        enabled: bool = True,
+    ) -> None:
+        self.enabled = enabled
+        self.path = path
+        self.slow_ms = slow_ms
+        self._lock = threading.Lock()
+        self._records: List[Dict[str, Any]] = []
+
+    def is_slow(self, wall_ms: float) -> bool:
+        """Whether a batch at ``wall_ms`` crosses the slow threshold."""
+        return (
+            self.enabled
+            and self.slow_ms is not None
+            and wall_ms >= self.slow_ms
+        )
+
+    def record(self, entry: Dict[str, Any]) -> None:
+        """Append one record (no-op when disabled).
+
+        Stamps ``ts`` (epoch seconds) and ``slow`` if absent; everything
+        else is stored verbatim."""
+        if not self.enabled:
+            return
+        entry = dict(entry)
+        entry.setdefault("ts", round(wall_clock(), 3))
+        entry.setdefault(
+            "slow", self.is_slow(float(entry.get("wall_ms", 0.0)))
+        )
+        line = json.dumps(entry, sort_keys=True, default=str)
+        with self._lock:
+            self._records.append(entry)
+            if self.path is not None:
+                with open(self.path, "a", encoding="utf-8") as sink:
+                    sink.write(line + "\n")
+
+    # -- readers -----------------------------------------------------------
+
+    @property
+    def records(self) -> List[Dict[str, Any]]:
+        """A copy of the buffered records, oldest first."""
+        with self._lock:
+            return list(self._records)
+
+    def slow_queries(self) -> List[Dict[str, Any]]:
+        """Only the records flagged slow."""
+        return [entry for entry in self.records if entry.get("slow")]
+
+    def to_jsonl(self) -> str:
+        """The buffered records as JSONL text."""
+        return "".join(
+            json.dumps(entry, sort_keys=True, default=str) + "\n"
+            for entry in self.records
+        )
+
+    def clear(self) -> None:
+        """Drop the in-memory buffer (the file, if any, is untouched)."""
+        with self._lock:
+            self._records.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+#: Default, disabled log: ``record`` is a cheap no-op.
+NULL_QUERY_LOG = QueryLog(enabled=False)

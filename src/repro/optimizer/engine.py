@@ -36,7 +36,16 @@ from ..cse.matching import ConsumerSpec, build_consumer_specs, try_match_consume
 from ..errors import OptimizerError
 from ..expr.expressions import ColumnRef, Comparison, ComparisonOp, Expr, Literal
 from ..logical.blocks import BoundBatch, BoundQuery
-from ..obs import NULL_REGISTRY, NULL_TRACER, MetricsRegistry, Tracer, use_registry
+from ..obs import (
+    NULL_JOURNAL,
+    NULL_REGISTRY,
+    NULL_TRACER,
+    DecisionJournal,
+    MetricsRegistry,
+    Tracer,
+    use_journal,
+    use_registry,
+)
 from ..storage.database import Database
 from .cardinality import CardinalityEstimator
 from .cost import CostModel
@@ -219,6 +228,9 @@ class OptimizationResult:
     stats: OptimizerStats
     candidates: List[CandidateCse] = field(default_factory=list)
     base_bundle: Optional[PlanBundle] = None
+    #: The decision journal active during the run (NULL_JOURNAL when the
+    #: caller did not ask for one) — the source for ``explain --why``.
+    journal: DecisionJournal = NULL_JOURNAL
 
     @property
     def est_cost(self) -> float:
@@ -254,6 +266,7 @@ class Optimizer:
         cost_model: Optional[CostModel] = None,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        journal: Optional[DecisionJournal] = None,
     ) -> None:
         self.database = database
         self.options = options or OptimizerOptions()
@@ -261,6 +274,8 @@ class Optimizer:
         self.estimator = CardinalityEstimator(database)
         self.registry = registry or NULL_REGISTRY
         self.tracer = tracer or NULL_TRACER
+        # `is not None`: an empty journal is falsy (it has a length).
+        self.journal = journal if journal is not None else NULL_JOURNAL
         self._stats = OptimizerStats()
 
     # ------------------------------------------------------------------
@@ -269,9 +284,10 @@ class Optimizer:
 
     def optimize(self, batch: BoundBatch) -> OptimizationResult:
         """Run the full three-step optimization of Figure 1 on a batch."""
-        with use_registry(self.registry):
+        with use_registry(self.registry), use_journal(self.journal):
             with self.tracer.span("optimize", queries=len(batch.queries)):
                 result = self._optimize(batch)
+        result.journal = self.journal
         self._publish_stats(result.stats)
         return result
 
@@ -286,11 +302,18 @@ class Optimizer:
         registry.timer_add("optimizer.normal", stats.normal_time)
         registry.timer_add("optimizer.cse", stats.cse_time)
         registry.timer_add("optimizer.total", stats.optimization_time)
+        # Phase latency distributions (p50/p95/p99 via the exporter).
+        registry.observe("optimizer.normal_seconds", stats.normal_time)
+        registry.observe("optimizer.cse_seconds", stats.cse_time)
+        registry.observe("optimizer.total_seconds", stats.optimization_time)
 
     def _optimize(self, batch: BoundBatch) -> OptimizationResult:
         start = time.perf_counter()
         stats = OptimizerStats()
         self._stats = stats
+        #: per-candidate tally of §5.1 single-consumer discards, feeding the
+        #: journal's ``single_consumer`` events and rejection verdicts.
+        self._sc_discards: Dict[str, int] = {}
 
         with self.tracer.span("normal_optimization"):
             memo = Memo(self.estimator, self.options)
@@ -394,12 +417,57 @@ class Optimizer:
         stats.used_cses = best_bundle.used_cses()
         stats.cse_time = time.perf_counter() - start - stats.normal_time
         stats.optimization_time = time.perf_counter() - start
+        self._journal_verdicts(candidates, stats)
         return OptimizationResult(
             bundle=best_bundle,
             stats=stats,
             candidates=candidates,
             base_bundle=base_bundle,
         )
+
+    def _journal_verdicts(
+        self, candidates: List[CandidateCse], stats: OptimizerStats
+    ) -> None:
+        """Emit the per-candidate §5.1 discard tallies and final verdicts.
+
+        Candidates pruned before costing (Heuristic 4, candidate cap) got
+        their verdicts inside :meth:`_generate_candidates`; this covers
+        everything that survived into Step 3 enumeration."""
+        journal = self.journal
+        if not journal.enabled:
+            return
+        used = set(stats.used_cses)
+        for candidate in candidates:
+            cid = candidate.cse_id
+            discards = self._sc_discards.get(cid, 0)
+            if discards:
+                journal.event(
+                    "single_consumer", cse_id=cid, discards=discards
+                )
+            if cid in used:
+                journal.event(
+                    "verdict",
+                    cse_id=cid,
+                    kept=True,
+                    reason="materialized in best plan",
+                )
+            elif discards:
+                journal.event(
+                    "verdict",
+                    cse_id=cid,
+                    kept=False,
+                    reason="single-consumer LCA discard (§5.1)",
+                )
+            else:
+                journal.event(
+                    "verdict",
+                    cse_id=cid,
+                    kept=False,
+                    reason=(
+                        "sharing never beat recomputation in any "
+                        "enumerated subset"
+                    ),
+                )
 
     # ------------------------------------------------------------------
     # Candidate generation (Step 2)
@@ -423,15 +491,27 @@ class Optimizer:
             return next(counter)
 
         id_allocator = CandidateIdAllocator()
+        journal = self.journal
         definitions = []
         for signature, groups in buckets:
             if signature.table_count < options.min_cse_tables:
                 continue
-            if options.enable_heuristics and not heuristic1_keep(
-                groups, base_cost, options.alpha
-            ):
-                trace.heuristic1.append(f"bucket:{signature!r}")
-                continue
+            if options.enable_heuristics:
+                keep = heuristic1_keep(groups, base_cost, options.alpha)
+                if journal.enabled:
+                    journal.event(
+                        "h1",
+                        signature=repr(signature),
+                        lower_bound_sum=sum(
+                            g.lower_bound or 0.0 for g in groups
+                        ),
+                        threshold=options.alpha * base_cost,
+                        alpha=options.alpha,
+                        passed=keep,
+                    )
+                if not keep:
+                    trace.heuristic1.append(f"bucket:{signature!r}")
+                    continue
             for compatible_set in compatibility_groups(groups, memo.block_infos):
                 definitions.extend(
                     generate_candidates(
@@ -449,13 +529,28 @@ class Optimizer:
                 )
         stats.candidates_before_pruning = len(definitions)
         if options.enable_heuristics:
+            before_ids = {d.cse_id for d in definitions}
             definitions = heuristic4_filter(definitions, memo, options.beta, trace)
+            for cid in sorted(before_ids - {d.cse_id for d in definitions}):
+                journal.event(
+                    "verdict",
+                    cse_id=cid,
+                    kept=False,
+                    reason="H4 containment prune",
+                )
         if len(definitions) > options.max_candidates:
             definitions.sort(
                 key=lambda d: -sum(
                     g.lower_bound or 0.0 for g in d.consumer_groups
                 )
             )
+            for definition in definitions[options.max_candidates:]:
+                journal.event(
+                    "verdict",
+                    cse_id=definition.cse_id,
+                    kept=False,
+                    reason="max_candidates cap",
+                )
             definitions = definitions[: options.max_candidates]
 
         # Build candidate bodies into the memo and optimize them standalone.
@@ -510,6 +605,18 @@ class Optimizer:
             else:
                 all_gids = list(candidate.definition.consumer_gids)
                 candidate.lca_gid = memo.least_common_ancestor(all_gids).gid
+            journal.event(
+                "lca",
+                cse_id=candidate.cse_id,
+                body_cost=candidate.body_cost,
+                write_cost=candidate.write_cost,
+                read_cost=candidate.read_cost,
+                lca_gid=candidate.lca_gid,
+                lifted_to_root=(
+                    candidate.lifted_to_root
+                    or candidate.lca_gid == self._root.gid
+                ),
+            )
         return candidates
 
     def _find_stacked_consumers(self, candidates: List[CandidateCse]) -> None:
@@ -651,8 +758,11 @@ class Optimizer:
             if uses == 1:
                 # §5.2: a plan using the spool exactly once at its LCA can
                 # never beat recomputation — discard it (and count it, so
-                # EXPLAIN ANALYZE can report how often the rule fired).
+                # EXPLAIN ANALYZE and the decision journal can report how
+                # often the rule fired, and against which candidate).
                 self._stats.single_consumer_discards += 1
+                cid = candidate.cse_id
+                self._sc_discards[cid] = self._sc_discards.get(cid, 0) + 1
                 continue
             new_profile = _profile_without(profile, candidate.cse_id)
             cost = choice.cost
@@ -1017,6 +1127,11 @@ class Optimizer:
                     counts[inner] = min(2, counts.get(inner, 0) + n)
             if any(counts.get(cid, 0) < 2 for cid in active):
                 self._stats.single_consumer_discards += 1
+                for cid in active:
+                    if counts.get(cid, 0) < 2:
+                        self._sc_discards[cid] = (
+                            self._sc_discards.get(cid, 0) + 1
+                        )
                 continue
             total = cost + sum(pick[1] for pick in chosen.values())
             if best is None or total < best[0]:
@@ -1133,6 +1248,12 @@ class Optimizer:
                     # The root-level instance of §5.2's rule: an activation
                     # whose spool would have fewer than two consumers.
                     self._stats.single_consumer_discards += 1
+                    for candidate in active:
+                        if counts.get(candidate.cse_id, 0) < 2:
+                            cid = candidate.cse_id
+                            self._sc_discards[cid] = (
+                                self._sc_discards.get(cid, 0) + 1
+                            )
                     continue
                 total = cost + body_cost
                 if best is None or total < best[0]:

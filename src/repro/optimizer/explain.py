@@ -289,6 +289,20 @@ def explain_analyze(
     else:
         executor = Executor(database, cost_model, registry=registry)
     execution = executor.execute(bundle, collect_op_stats=True)
+    return render_analyzed_bundle(database, result, execution, cost_model)
+
+
+def render_analyzed_bundle(
+    database: Database,
+    result: OptimizationResult,
+    execution,
+    cost_model: Optional[CostModel] = None,
+) -> str:
+    """The EXPLAIN ANALYZE report for a bundle that *already executed*
+    (with ``collect_op_stats=True``). This is the slow-query-log path: the
+    session attaches the analyzed tree of the run it just measured instead
+    of re-executing the batch."""
+    bundle = result.bundle
     annotator = PlanAnnotator(database, cost_model)
 
     parts: List[str] = [

@@ -20,6 +20,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+from time import perf_counter
 from typing import FrozenSet, Optional
 
 from ..obs import NULL_REGISTRY, MetricsRegistry
@@ -62,6 +63,7 @@ class PlanCache:
 
     def get(self, key: CacheKey) -> Optional[OptimizationResult]:
         """The cached result for ``key``, or None; counts hit or miss."""
+        start = perf_counter()
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
@@ -73,6 +75,10 @@ class PlanCache:
                 hit = True
         # Registry has its own lock; never call it while holding ours.
         self.registry.counter("plan_cache.hit" if hit else "plan_cache.miss")
+        if hit:
+            self.registry.observe(
+                "plan_cache.hit_seconds", perf_counter() - start
+            )
         return entry.result if entry is not None else None
 
     def put(

@@ -142,6 +142,7 @@ class ParallelExecutor(Executor):
         collect_op_stats: bool,
     ) -> _TaskOutcome:
         ctx = self._task_context(spools, collect_op_stats)
+        start = time.perf_counter()
         if task.kind == "spool":
             body = dict(bundle.root_spools)[task.label]
             if task.label not in spools:
@@ -149,11 +150,17 @@ class ParallelExecutor(Executor):
                 # Publishing the finished table is the consumers' latch:
                 # their tasks are only submitted after this one completes.
                 spools[task.label] = worktable
+            self.registry.observe(
+                "executor.task_seconds", time.perf_counter() - start
+            )
             return _TaskOutcome(ctx.metrics, ctx.op_stats)
         query_plan = next(
             q for q in bundle.queries if q.name == task.label
         )
         result, plan = self._execute_query(query_plan, ctx)
+        self.registry.observe(
+            "executor.task_seconds", time.perf_counter() - start
+        )
         return _TaskOutcome(ctx.metrics, ctx.op_stats, result, plan)
 
     def _run_schedule(

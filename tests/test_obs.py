@@ -33,10 +33,16 @@ class TestMetricsRegistry:
         registry = MetricsRegistry(enabled=False)
         registry.counter("a")
         registry.gauge("g", 1)
+        registry.observe("h", 1.0)
         with registry.timer("t"):
             pass
         snapshot = registry.snapshot()
-        assert snapshot == {"counters": {}, "gauges": {}, "timers": {}}
+        assert snapshot == {
+            "counters": {},
+            "gauges": {},
+            "timers": {},
+            "histograms": {},
+        }
 
     def test_reset_and_merge(self):
         registry = MetricsRegistry()
