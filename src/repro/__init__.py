@@ -27,6 +27,10 @@ Public entry points:
 * :class:`PlanCache` / :class:`ParallelExecutor` — the serving layer:
   signature-keyed plan caching and dependency-aware parallel batch
   execution (``Session(workers=N)``, ``execute(parallel=True)``).
+* :class:`ResourceGovernor` / :class:`QueryBudget` — admission control and
+  per-batch deadlines/budgets with cooperative cancellation; failures of
+  the sharing machinery degrade to the paper's no-sharing baseline plan
+  (``Session(governor=..., default_budget=...)``).
 """
 
 from .api import ExecutionOutcome, Session
@@ -39,15 +43,27 @@ from .obs import (
     Tracer,
     render_prometheus,
 )
-from .serve import ParallelExecutor, PlanCache
+from .serve import (
+    CancellationToken,
+    ParallelExecutor,
+    PlanCache,
+    QueryBudget,
+    ResourceGovernor,
+)
 from .catalog.tpch import build_tpch_database
 from .errors import (
+    AdmissionError,
     BindError,
+    BudgetExceededError,
     CatalogError,
     ExecutionError,
+    GovernorError,
     LexerError,
     OptimizerError,
+    OptimizerTimeoutError,
     ParseError,
+    QueryCancelledError,
+    QueryTimeoutError,
     ReproError,
     SqlError,
     StorageError,
@@ -75,6 +91,9 @@ __all__ = [
     "render_prometheus",
     "PlanCache",
     "ParallelExecutor",
+    "ResourceGovernor",
+    "QueryBudget",
+    "CancellationToken",
     "ReproError",
     "CatalogError",
     "StorageError",
@@ -83,7 +102,13 @@ __all__ = [
     "ParseError",
     "BindError",
     "OptimizerError",
+    "OptimizerTimeoutError",
     "ExecutionError",
+    "GovernorError",
+    "QueryCancelledError",
+    "QueryTimeoutError",
+    "BudgetExceededError",
+    "AdmissionError",
     "UnsupportedFeatureError",
     "__version__",
 ]

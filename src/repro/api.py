@@ -23,11 +23,18 @@ Typical use::
 from __future__ import annotations
 
 import weakref
-from dataclasses import dataclass
+from contextlib import nullcontext
+from dataclasses import dataclass, replace
 from time import perf_counter
 from typing import Optional, Sequence, Union
 
-from .errors import ReproError
+from .errors import (
+    BudgetExceededError,
+    OptimizerError,
+    OptimizerTimeoutError,
+    QueryTimeoutError,
+    ReproError,
+)
 from .executor.executor import BatchResult, Executor
 from .logical.blocks import BoundBatch, BoundQuery
 from .obs import (
@@ -44,6 +51,7 @@ from .obs import (
 from .optimizer.cost import CostModel
 from .optimizer.engine import OptimizationResult, Optimizer
 from .optimizer.options import OptimizerOptions
+from .serve.governor import CancellationToken, QueryBudget, ResourceGovernor
 from .sql.binder import Binder
 from .sql.parser import parse_batch
 from .storage.database import Database
@@ -61,6 +69,13 @@ class ExecutionOutcome:
     #: True when the optimization came from the session's plan cache (the
     #: optimizer did not run for this call).
     plan_cache_hit: bool = False
+    #: True when the governor degraded this call to the no-sharing
+    #: baseline (optimizer fallback or spool-budget fallback).
+    degraded: bool = False
+    #: why the call degraded: ``"optimizer_error"``,
+    #: ``"optimizer_deadline"``, or ``"spool_budget"`` (None when not
+    #: degraded).
+    fallback_reason: Optional[str] = None
 
     @property
     def est_cost(self) -> float:
@@ -109,6 +124,8 @@ class Session:
         journal: Optional[DecisionJournal] = None,
         query_log: Optional[QueryLog] = None,
         telemetry_port: Optional[int] = None,
+        governor: Optional[ResourceGovernor] = None,
+        default_budget: Optional[QueryBudget] = None,
     ) -> None:
         self.database = database
         self.options = options or OptimizerOptions()
@@ -130,6 +147,20 @@ class Session:
             self.telemetry = TelemetryServer(
                 self.registry, port=telemetry_port
             ).start()
+        #: admission control shared across this session's executes (and any
+        #: other sessions holding the same governor). A governor built with
+        #: the default null registry inherits the session's, so its
+        #: ``governor.*`` metrics flow through the same Prometheus path.
+        self.governor = governor
+        if (
+            governor is not None
+            and governor.registry is NULL_REGISTRY
+            and self.registry is not NULL_REGISTRY
+        ):
+            governor.registry = self.registry
+        #: budget applied to every :meth:`execute` that does not pass its
+        #: own (None = ungoverned).
+        self.default_budget = default_budget
         self.workers = max(1, workers)
         self.plan_cache = None
         if plan_cache_size > 0:
@@ -182,11 +213,16 @@ class Session:
         self,
         target: Union[str, BoundBatch, BoundQuery],
         journal: Optional[DecisionJournal] = None,
+        deadline: Optional[float] = None,
     ) -> OptimizationResult:
         """Optimize a batch (CSE detection/exploitation per session options).
 
         ``journal`` overrides the session's decision journal for this call
-        (``explain(why=True)`` uses this to scope the report to one batch)."""
+        (``explain(why=True)`` uses this to scope the report to one batch).
+        ``deadline`` is an absolute :func:`time.monotonic` instant after
+        which the optimizer raises
+        :class:`~repro.errors.OptimizerTimeoutError` at its next phase
+        boundary."""
         batch = self._as_batch(target)
         optimizer = Optimizer(
             self.database,
@@ -195,6 +231,7 @@ class Session:
             registry=self.registry,
             tracer=self.tracer,
             journal=journal if journal is not None else self.journal,
+            deadline=deadline,
         )
         return optimizer.optimize(batch)
 
@@ -204,6 +241,7 @@ class Session:
         collect_op_stats: bool = False,
         parallel: Optional[bool] = None,
         workers: Optional[int] = None,
+        budget: Optional[QueryBudget] = None,
     ) -> ExecutionOutcome:
         """Optimize (or fetch a cached plan) then execute.
 
@@ -211,25 +249,176 @@ class Session:
         pool (``workers`` threads; defaults to the session's ``workers``,
         or :data:`DEFAULT_PARALLEL_WORKERS` on a serial session);
         ``parallel=False`` forces serial execution. With the default
-        ``parallel=None``, the session's ``workers`` setting decides."""
+        ``parallel=None``, the session's ``workers`` setting decides.
+
+        ``budget`` (default: the session's ``default_budget``) governs the
+        call: its deadline and spool/row limits are checked cooperatively
+        throughout optimization and execution. Optimizer failures and
+        budget busts degrade to the paper's no-sharing baseline plan
+        (``outcome.degraded``); deadline expiry raises
+        :class:`~repro.errors.QueryTimeoutError`. When the session has a
+        :class:`~repro.serve.ResourceGovernor`, the call first passes
+        admission control (which may raise
+        :class:`~repro.errors.AdmissionError`)."""
         batch = self._as_batch(target)
         # A slow-query threshold means we may need the analyzed tree of
         # *this* run; collect operator stats up front rather than re-run.
         if self.query_log.enabled and self.query_log.slow_ms is not None:
             collect_op_stats = True
+        if budget is None:
+            budget = self.default_budget
         start = perf_counter()
-        result, cache_hit = self._cached_optimize(batch)
-        execution = self.execute_bundle(
-            result, collect_op_stats, parallel=parallel, workers=workers
+        admit = (
+            self.governor.admit() if self.governor is not None
+            else nullcontext()
         )
+        with admit:
+            token = budget.start() if budget is not None else None
+            result, cache_hit, opt_fallback = self._optimize_governed(
+                batch, budget, token
+            )
+            execution, exec_fallback = self._execute_governed(
+                result, collect_op_stats, parallel, workers, budget, token
+            )
         wall = perf_counter() - start
         self.registry.observe("serve.query_seconds", wall)
+        reason = opt_fallback or exec_fallback
         outcome = ExecutionOutcome(
-            optimization=result, execution=execution, plan_cache_hit=cache_hit
+            optimization=result,
+            execution=execution,
+            plan_cache_hit=cache_hit,
+            degraded=reason is not None,
+            fallback_reason=reason,
         )
         if self.query_log.enabled:
             self._log_query(batch, outcome, wall)
         return outcome
+
+    def _optimize_governed(
+        self,
+        batch: BoundBatch,
+        budget: Optional[QueryBudget],
+        token: Optional[CancellationToken],
+    ) -> "tuple[OptimizationResult, bool, Optional[str]]":
+        """Optimize under the budget's deadline, degrading on failure.
+
+        Returns ``(result, cache_hit, fallback_reason)``. An
+        :class:`OptimizerError` (or optimizer-deadline expiry) retries
+        with CSE exploitation disabled — the no-sharing plan is always
+        valid, so sharing machinery failures never fail the batch. The
+        retry bypasses the plan cache entirely: a degraded plan is never
+        stored under the batch's normal fingerprint."""
+        if budget is None:
+            result, cache_hit = self._cached_optimize(batch)
+            return result, cache_hit, None
+        try:
+            result, cache_hit = self._cached_optimize(
+                batch, deadline=budget.optimizer_deadline(token)
+            )
+            return result, cache_hit, None
+        except OptimizerTimeoutError as error:
+            if not budget.allow_fallback:
+                raise QueryTimeoutError(str(error)) from error
+            reason, cause = "optimizer_deadline", error
+        except OptimizerError as error:
+            if not budget.allow_fallback:
+                raise
+            reason, cause = "optimizer_error", error
+        if token is not None:
+            # Only the optimizer's own allowance is fallback-eligible; an
+            # expired overall deadline fails the batch here and now.
+            token.check()
+        result = self._fallback_optimize(batch, token, reason, cause)
+        return result, False, reason
+
+    def _fallback_optimize(
+        self,
+        batch: BoundBatch,
+        token: Optional[CancellationToken],
+        reason: str,
+        cause: BaseException,
+    ) -> OptimizationResult:
+        """Re-optimize with CSEs disabled (the paper's baseline plan)."""
+        self.registry.counter("governor.fallbacks")
+        self.registry.counter(f"governor.fallback.{reason}")
+        if self.journal.enabled:
+            self.journal.event(
+                "fallback", stage="optimizer", reason=reason,
+                detail=str(cause),
+            )
+        self.tracer.event("governor_fallback", stage="optimizer",
+                          reason=reason)
+        optimizer = Optimizer(
+            self.database,
+            replace(self.options, enable_cse=False),
+            self.cost_model,
+            registry=self.registry,
+            tracer=self.tracer,
+            journal=self.journal,
+            # The retry still honours the overall deadline (not the spent
+            # optimizer allowance): without CSE enumeration it is cheap.
+            deadline=token.deadline if token is not None else None,
+        )
+        start = perf_counter()
+        try:
+            result = optimizer.optimize(batch)
+        except OptimizerTimeoutError as error:
+            raise QueryTimeoutError(
+                "query deadline exceeded during fallback optimization"
+            ) from error
+        self.registry.observe(
+            "governor.fallback_retry_seconds", perf_counter() - start
+        )
+        return result
+
+    def _execute_governed(
+        self,
+        result: OptimizationResult,
+        collect_op_stats: bool,
+        parallel: Optional[bool],
+        workers: Optional[int],
+        budget: Optional[QueryBudget],
+        token: Optional[CancellationToken],
+    ) -> "tuple[BatchResult, Optional[str]]":
+        """Execute under the token, degrading on a budget bust.
+
+        Returns ``(execution, fallback_reason)``. A
+        :class:`BudgetExceededError` (spool or row budget) re-executes the
+        no-sharing baseline bundle serially: it materializes no shared
+        spools, so the spool budget cannot re-trip; the retry token keeps
+        the original absolute deadline, so the whole call stays bounded.
+        Deadline expiry (:class:`QueryTimeoutError`) always propagates."""
+        try:
+            execution = self.execute_bundle(
+                result, collect_op_stats, parallel=parallel,
+                workers=workers, token=token,
+            )
+            return execution, None
+        except BudgetExceededError as error:
+            if budget is None or not budget.allow_fallback:
+                raise
+            cause = error
+        self.registry.counter("governor.fallbacks")
+        self.registry.counter("governor.fallback.spool_budget")
+        if self.journal.enabled:
+            self.journal.event(
+                "fallback", stage="execution", reason="spool_budget",
+                detail=str(cause),
+            )
+        self.tracer.event("governor_fallback", stage="execution",
+                          reason="spool_budget")
+        start = perf_counter()
+        execution = self.execute_bundle(
+            result,
+            collect_op_stats,
+            parallel=False,
+            token=token.for_retry() if token is not None else None,
+            bundle=result.base_bundle,
+        )
+        self.registry.observe(
+            "governor.fallback_retry_seconds", perf_counter() - start
+        )
+        return execution, "spool_budget"
 
     def _log_query(
         self, batch: BoundBatch, outcome: ExecutionOutcome, wall: float
@@ -254,7 +443,10 @@ class Session:
             ),
             "wall_ms": round(wall_ms, 3),
             "rows": sum(r.row_count for r in outcome.execution.results),
+            "degraded": outcome.degraded,
         }
+        if outcome.fallback_reason is not None:
+            record["fallback_reason"] = outcome.fallback_reason
         if self.query_log.is_slow(wall_ms):
             from .optimizer.explain import render_analyzed_bundle
 
@@ -279,11 +471,15 @@ class Session:
         self.close()
 
     def _cached_optimize(
-        self, batch: BoundBatch
+        self, batch: BoundBatch, deadline: Optional[float] = None
     ) -> "tuple[OptimizationResult, bool]":
-        """A (result, was_cache_hit) pair; a hit skips the optimizer."""
+        """A (result, was_cache_hit) pair; a hit skips the optimizer.
+
+        A plan optimized under a ``deadline`` is cached only when the
+        optimizer *finished* (expiry raises before reaching the put), so
+        the cache never holds a partially optimized plan."""
         if self.plan_cache is None:
-            return self.optimize(batch), False
+            return self.optimize(batch, deadline=deadline), False
         from .serve import batch_tables, cache_key
 
         key = cache_key(batch, self.database, self.options, self.cost_model)
@@ -291,7 +487,7 @@ class Session:
         if cached is not None:
             self.tracer.event("plan_cache_hit", fingerprint=key[0][:12])
             return cached, True
-        result = self.optimize(batch)
+        result = self.optimize(batch, deadline=deadline)
         self.plan_cache.put(key, result, batch_tables(batch))
         return result, False
 
@@ -311,8 +507,14 @@ class Session:
         collect_op_stats: bool = False,
         parallel: Optional[bool] = None,
         workers: Optional[int] = None,
+        token: Optional[CancellationToken] = None,
+        bundle=None,
     ) -> BatchResult:
-        """Execute a previously optimized bundle (serial or parallel)."""
+        """Execute a previously optimized bundle (serial or parallel).
+
+        ``token`` arms cooperative deadline/budget checks in the executor;
+        ``bundle`` overrides the bundle to run (the governor's fallback
+        path uses it to execute ``result.base_bundle``)."""
         count = self._effective_workers(parallel, workers)
         if count > 1:
             from .serve import ParallelExecutor
@@ -327,7 +529,11 @@ class Session:
             executor = Executor(
                 self.database, self.cost_model, registry=self.registry
             )
-        return executor.execute(result.bundle, collect_op_stats)
+        return executor.execute(
+            bundle if bundle is not None else result.bundle,
+            collect_op_stats,
+            token=token,
+        )
 
     def explain(
         self,

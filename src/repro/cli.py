@@ -83,6 +83,27 @@ def build_parser() -> argparse.ArgumentParser:
             "query log and carry their full EXPLAIN ANALYZE tree"
         ),
     )
+    query.add_argument(
+        "--deadline-ms", type=float, metavar="MS", default=None,
+        help=(
+            "abort the batch with a timeout if optimize+execute exceeds "
+            "MS milliseconds (checked cooperatively per operator)"
+        ),
+    )
+    query.add_argument(
+        "--optimizer-deadline-ms", type=float, metavar="MS", default=None,
+        help=(
+            "bound just the optimizer: on expiry the batch is re-planned "
+            "without CSE sharing (the always-valid baseline) and executed"
+        ),
+    )
+    query.add_argument(
+        "--max-spool-rows", type=int, metavar="N", default=None,
+        help=(
+            "cap total rows materialized into shared spools; exceeding it "
+            "re-executes the batch serially without sharing"
+        ),
+    )
 
     explain = sub.add_parser("explain", help="print the optimized plan")
     explain.add_argument("sql")
@@ -176,13 +197,32 @@ def _cmd_query(args: argparse.Namespace, out) -> int:
         workers=workers,
         query_log=query_log,
     )
-    outcome = session.execute(args.sql)
+    budget = None
+    if (
+        args.deadline_ms is not None
+        or args.optimizer_deadline_ms is not None
+        or args.max_spool_rows is not None
+    ):
+        from .serve import QueryBudget
+
+        budget = QueryBudget(
+            deadline_ms=args.deadline_ms,
+            optimizer_deadline_ms=args.optimizer_deadline_ms,
+            max_spool_rows=args.max_spool_rows,
+        )
+    outcome = session.execute(args.sql, budget=budget)
     stats = outcome.optimization.stats
     print(
         f"-- estimated cost {stats.est_cost_no_cse:.1f} -> "
         f"{stats.est_cost_final:.1f}; CSEs used: {stats.used_cses or 'none'}",
         file=out,
     )
+    if outcome.degraded:
+        print(
+            f"-- governor fallback: {outcome.fallback_reason} "
+            "(executed the no-sharing baseline plan)",
+            file=out,
+        )
     for result in outcome.execution.results:
         print(f"\n{result.name} ({result.row_count} rows):", file=out)
         print("  " + " | ".join(result.columns), file=out)

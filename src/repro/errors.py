@@ -44,8 +44,38 @@ class OptimizerError(ReproError):
     """The optimizer reached an inconsistent state or an unsupported shape."""
 
 
+class OptimizerTimeoutError(OptimizerError):
+    """The optimizer's deadline expired before a plan was chosen.
+
+    Raised at the cooperative checkpoints inside
+    :meth:`repro.optimizer.engine.Optimizer.optimize`. The session treats
+    it like any other :class:`OptimizerError`: the batch is re-optimized
+    with CSE exploitation disabled (the always-valid no-sharing plan)."""
+
+
 class ExecutionError(ReproError):
     """A physical plan could not be evaluated."""
+
+
+class GovernorError(ReproError):
+    """Base class for resource-governance errors (:mod:`repro.serve.governor`)."""
+
+
+class QueryCancelledError(GovernorError):
+    """Execution was cooperatively cancelled via a :class:`CancellationToken`."""
+
+
+class QueryTimeoutError(QueryCancelledError):
+    """The batch's wall-clock deadline expired during execution."""
+
+
+class BudgetExceededError(QueryCancelledError):
+    """A :class:`QueryBudget` row or spool limit was exhausted."""
+
+
+class AdmissionError(GovernorError):
+    """The governor refused a batch: the wait queue is full or the
+    admission wait timed out."""
 
 
 class UnsupportedFeatureError(ReproError):

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -36,6 +36,9 @@ from ..optimizer.aggs import AggCompute
 from ..storage.database import Database
 from .iterators import execute_node, materialize_spool, sort_order_for
 from .runtime import ExecutionContext, ExecutionMetrics
+
+if TYPE_CHECKING:  # avoid the executor → serve → executor import cycle
+    from ..serve.governor import CancellationToken
 
 
 @dataclass
@@ -98,18 +101,24 @@ class Executor:
         self.registry = registry or NULL_REGISTRY
 
     def execute(
-        self, bundle: PlanBundle, collect_op_stats: bool = False
+        self,
+        bundle: PlanBundle,
+        collect_op_stats: bool = False,
+        token: Optional["CancellationToken"] = None,
     ) -> BatchResult:
         """Execute a bundle: spools, subqueries, then each query.
 
         With ``collect_op_stats=True`` the result carries per-operator
-        actuals (rows, wall time) for EXPLAIN ANALYZE rendering."""
+        actuals (rows, wall time) for EXPLAIN ANALYZE rendering. ``token``
+        (a :class:`~repro.serve.governor.CancellationToken`) arms the
+        cooperative deadline/budget checkpoints in the operator loop."""
         start = time.perf_counter()
         ctx = ExecutionContext(
             database=self.database,
             cost_model=self.cost_model,
             registry=self.registry,
             op_stats={} if collect_op_stats else None,
+            token=token,
         )
         executed_plans: Dict[str, PhysicalPlan] = {}
         for cse_id, body in bundle.root_spools:

@@ -44,17 +44,32 @@ def execute_node(plan: PhysicalPlan, ctx: ExecutionContext) -> Frame:
 
     When ``ctx.op_stats`` is enabled, each node's invocation count, output
     rows, and inclusive wall time are recorded (keyed by node identity) for
-    EXPLAIN ANALYZE; the disabled path costs one ``is None`` check."""
+    EXPLAIN ANALYZE; the disabled path costs one ``is None`` check.
+
+    When ``ctx.token`` is set, every invocation is a cooperative
+    governance checkpoint: deadline expiry / cancellation raise before the
+    operator runs, and (with a row budget) the operator's output rows are
+    charged afterwards — so a runaway plan stops at the next operator
+    boundary instead of stalling the batch."""
+    token = ctx.token
+    if token is not None:
+        token.check()
     ctx.metrics.operator_invocations += 1
     if ctx.op_stats is None:
-        return _dispatch(plan, ctx)
+        frame = _dispatch(plan, ctx)
+        if token is not None and token.charges_rows:
+            token.charge_rows(frame_length(frame))
+        return frame
     start = perf_counter()
     frame = _dispatch(plan, ctx)
     elapsed = perf_counter() - start
     stats = ctx.stats_for(plan)
     stats.invocations += 1
-    stats.rows_out += frame_length(frame)
+    rows = frame_length(frame)
+    stats.rows_out += rows
     stats.wall_time += elapsed
+    if token is not None and token.charges_rows:
+        token.charge_rows(rows)
     return frame
 
 
@@ -375,6 +390,8 @@ def materialize_spool(
         raise ExecutionError(
             f"spool body for {cse_id!r} must end in a projection"
         )
+    if ctx.token is not None:
+        ctx.token.check()
     start = perf_counter()
     cost_before = ctx.metrics.cost_units
     frame = execute_node(body.child, ctx)
@@ -388,6 +405,13 @@ def materialize_spool(
         columns[out.name] = values
     worktable = WorkTable(cse_id, names, types)
     worktable.load(columns)
+    if ctx.token is not None:
+        # Charge before any accounting or publication: a budget bust raises
+        # here, so a partially-governed spool is never visible to readers.
+        ctx.token.charge_spool(
+            worktable.row_count,
+            worktable.row_count * worktable.row_width(),
+        )
     write_cost = ctx.cost_model.spool_write(
         worktable.row_count, worktable.row_width()
     )

@@ -19,12 +19,15 @@ near-free when off):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..obs import NULL_REGISTRY, MetricsRegistry, OperatorStats
 from ..optimizer.cost import CostModel
 from ..storage.database import Database
 from ..storage.worktable import WorkTable
+
+if TYPE_CHECKING:  # avoid the executor → serve → executor import cycle
+    from ..serve.governor import CancellationToken
 
 
 @dataclass
@@ -128,6 +131,10 @@ class ExecutionContext:
     #: ``id(plan node) -> OperatorStats``; None disables collection so the
     #: hot path pays a single ``is None`` check per operator.
     op_stats: Optional[Dict[int, OperatorStats]] = None
+    #: cooperative cancellation/budget state, shared by every task of one
+    #: batch (:mod:`repro.serve.governor`); None disables the checks so an
+    #: ungoverned run pays a single ``is None`` branch per operator.
+    token: Optional["CancellationToken"] = None
 
     def stats_for(self, node: object) -> OperatorStats:
         """The (created-on-demand) stats slot for one plan node."""

@@ -30,7 +30,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from time import monotonic
 from typing import Dict, List, Optional, Tuple
 
-from .metrics import MetricsRegistry
+from .metrics import MetricsRegistry, split_series_key
 
 #: Prometheus metric-name grammar (exposition format 0.0.4).
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -99,34 +99,52 @@ def render_prometheus(registry: MetricsRegistry) -> str:
         lines.append(f"{metric}_count {count}")
         lines.append(f"{metric}_sum {_fmt(total)}")
 
-    for name in sorted(histograms):
-        histogram = histograms[name]
-        metric = sanitize_metric_name(name)
-        family(metric, "histogram", f"repro histogram {name}")
-        buckets = histogram.bucket_counts()
-        cumulative = 0
-        emitted_any = False
-        pending_zero: Optional[float] = None
-        for bound, count in buckets[:-1]:
-            cumulative += count
-            if count == 0:
-                # Elide flat runs: remember the last edge so the first
-                # non-empty bucket is preceded by one zero/flat sample.
-                pending_zero = bound
-                if not emitted_any:
+    # Group labeled series (stored as ``name{k="v",…}`` keys) under their
+    # family so each family gets exactly one HELP/TYPE header.
+    families: Dict[str, List[Tuple[str, object]]] = {}
+    for key in sorted(histograms):
+        base, label_text = split_series_key(key)
+        families.setdefault(base, []).append((label_text, histograms[key]))
+
+    for base in sorted(families):
+        metric = sanitize_metric_name(base)
+        family(metric, "histogram", f"repro histogram {base}")
+        for label_text, histogram in families[base]:
+            def labelled(extra: str = "", _labels: str = label_text) -> str:
+                pairs = ",".join(p for p in (_labels, extra) if p)
+                return "{" + pairs + "}" if pairs else ""
+
+            def le(bound_text: str) -> str:
+                return 'le="' + bound_text + '"'
+
+            buckets = histogram.bucket_counts()
+            cumulative = 0
+            emitted_any = False
+            pending_zero: Optional[float] = None
+            for bound, count in buckets[:-1]:
+                cumulative += count
+                if count == 0:
+                    # Elide flat runs: remember the last edge so the first
+                    # non-empty bucket is preceded by one zero/flat sample.
+                    pending_zero = bound
+                    if not emitted_any:
+                        continue
                     continue
-                continue
-            if pending_zero is not None and not emitted_any:
+                if pending_zero is not None and not emitted_any:
+                    lines.append(
+                        f"{metric}_bucket{labelled(le(_fmt(pending_zero)))} "
+                        f"{cumulative - count}"
+                    )
+                pending_zero = None
                 lines.append(
-                    f'{metric}_bucket{{le="{_fmt(pending_zero)}"}} '
-                    f"{cumulative - count}"
+                    f"{metric}_bucket{labelled(le(_fmt(bound)))} {cumulative}"
                 )
-            pending_zero = None
-            lines.append(f'{metric}_bucket{{le="{_fmt(bound)}"}} {cumulative}')
-            emitted_any = True
-        lines.append(f'{metric}_bucket{{le="+Inf"}} {histogram.count}')
-        lines.append(f"{metric}_sum {_fmt(histogram.total)}")
-        lines.append(f"{metric}_count {histogram.count}")
+                emitted_any = True
+            lines.append(
+                f"{metric}_bucket{labelled(le('+Inf'))} {histogram.count}"
+            )
+            lines.append(f"{metric}_sum{labelled()} {_fmt(histogram.total)}")
+            lines.append(f"{metric}_count{labelled()} {histogram.count}")
 
     return "\n".join(lines) + "\n"
 
@@ -200,26 +218,40 @@ def _check_histograms(samples, types) -> None:
         buckets = samples.get(f"{name}_bucket", [])
         if not buckets:
             raise ValueError(f"histogram {name} has no _bucket samples")
-        edges: List[Tuple[float, float]] = []
+        # One histogram family may carry several label sets (e.g. the
+        # executor's per-outcome task latencies); the cumulative-bucket
+        # invariants hold per series, keyed by the labels minus ``le``.
+        series: Dict[Tuple[Tuple[str, str], ...], List[Tuple[float, float]]]
+        series = {}
         for labels, value in buckets:
             if "le" not in labels:
                 raise ValueError(f"histogram {name} bucket missing le label")
             edge = float(labels["le"].replace("+Inf", "inf"))
-            edges.append((edge, value))
-        if edges != sorted(edges, key=lambda pair: pair[0]):
-            raise ValueError(f"histogram {name} buckets out of order")
-        cumulative = [value for _, value in edges]
-        if any(b < a for a, b in zip(cumulative, cumulative[1:])):
-            raise ValueError(f"histogram {name} buckets not cumulative")
-        if edges[-1][0] != float("inf"):
-            raise ValueError(f"histogram {name} missing +Inf bucket")
-        count_samples = samples.get(f"{name}_count")
-        if not count_samples or count_samples[0][1] != edges[-1][1]:
-            raise ValueError(
-                f"histogram {name}: +Inf bucket disagrees with _count"
+            rest = tuple(
+                sorted((k, v) for k, v in labels.items() if k != "le")
             )
-        if f"{name}_sum" not in samples:
-            raise ValueError(f"histogram {name} missing _sum")
+            series.setdefault(rest, []).append((edge, value))
+        counts = {
+            tuple(sorted(labels.items())): value
+            for labels, value in samples.get(f"{name}_count", [])
+        }
+        sums = {
+            tuple(sorted(labels.items()))
+            for labels, _ in samples.get(f"{name}_sum", [])
+        }
+        for rest, edges in series.items():
+            tag = f"histogram {name}" + (f" {dict(rest)}" if rest else "")
+            if edges != sorted(edges, key=lambda pair: pair[0]):
+                raise ValueError(f"{tag} buckets out of order")
+            cumulative = [value for _, value in edges]
+            if any(b < a for a, b in zip(cumulative, cumulative[1:])):
+                raise ValueError(f"{tag} buckets not cumulative")
+            if edges[-1][0] != float("inf"):
+                raise ValueError(f"{tag} missing +Inf bucket")
+            if rest not in counts or counts[rest] != edges[-1][1]:
+                raise ValueError(f"{tag}: +Inf bucket disagrees with _count")
+            if rest not in sums:
+                raise ValueError(f"{tag} missing _sum")
 
 
 # ---------------------------------------------------------------------------

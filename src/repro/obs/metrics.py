@@ -30,6 +30,25 @@ from typing import Any, Dict, Iterator, Optional
 from .histogram import Histogram
 
 
+def series_key(name: str, labels: Optional[Dict[str, str]] = None) -> str:
+    """A registry storage key for one (name, labels) series.
+
+    Labels render Prometheus-style — ``name{k="v",…}`` with keys sorted —
+    so the exporter can split the key back into family and label set."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
+
+
+def split_series_key(key: str) -> "tuple[str, str]":
+    """Inverse of :func:`series_key`: ``(name, rendered label pairs)``."""
+    if key.endswith("}") and "{" in key:
+        name, _, labels = key.partition("{")
+        return name, labels[:-1]
+    return key, ""
+
+
 @dataclass
 class TimerStats:
     """Aggregated observations of one named timer."""
@@ -162,16 +181,26 @@ class MetricsRegistry:
             stats.count += 1
             stats.total += seconds
 
-    def observe(self, name: str, value: float) -> None:
+    def observe(
+        self,
+        name: str,
+        value: float,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> None:
         """Record one observation into histogram ``name`` (no-op when
         disabled). Histograms are created on first use with the shared
-        log-bucket layout (:data:`~repro.obs.histogram.DEFAULT_BOUNDS`)."""
+        log-bucket layout (:data:`~repro.obs.histogram.DEFAULT_BOUNDS`).
+
+        ``labels`` tags the series (e.g. ``{"outcome": "ok"}``): each
+        distinct label set is its own histogram, and the Prometheus
+        exporter renders the labels onto every sample of the series."""
         if not self.enabled:
             return
+        key = series_key(name, labels)
         with self._lock:
-            histogram = self._histograms.get(name)
+            histogram = self._histograms.get(key)
             if histogram is None:
-                histogram = self._histograms[name] = Histogram()
+                histogram = self._histograms[key] = Histogram()
         histogram.observe(value)
 
     def reset(self) -> None:
@@ -197,10 +226,12 @@ class MetricsRegistry:
             stats = self._timers.get(name)
             return stats.total if stats else 0.0
 
-    def histogram(self, name: str) -> Optional[Histogram]:
-        """The histogram recorded under ``name``, if any."""
+    def histogram(
+        self, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> Optional[Histogram]:
+        """The histogram recorded under ``name`` (+ ``labels``), if any."""
         with self._lock:
-            return self._histograms.get(name)
+            return self._histograms.get(series_key(name, labels))
 
     def snapshot(self) -> Dict[str, Any]:
         """A point-in-time copy:

@@ -33,7 +33,7 @@ from ..cse.enumeration import SubsetEnumerator
 from ..cse.heuristics import PruneTrace, heuristic1_keep, heuristic4_filter
 from ..cse.manager import CseManager
 from ..cse.matching import ConsumerSpec, build_consumer_specs, try_match_consumer
-from ..errors import OptimizerError
+from ..errors import OptimizerError, OptimizerTimeoutError
 from ..expr.expressions import ColumnRef, Comparison, ComparisonOp, Expr, Literal
 from ..logical.blocks import BoundBatch, BoundQuery
 from ..obs import (
@@ -267,6 +267,7 @@ class Optimizer:
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         journal: Optional[DecisionJournal] = None,
+        deadline: Optional[float] = None,
     ) -> None:
         self.database = database
         self.options = options or OptimizerOptions()
@@ -276,7 +277,18 @@ class Optimizer:
         self.tracer = tracer or NULL_TRACER
         # `is not None`: an empty journal is falsy (it has a length).
         self.journal = journal if journal is not None else NULL_JOURNAL
+        #: absolute :func:`time.monotonic` deadline for this optimization,
+        #: or None. Checked at phase boundaries (never mid-assembly): expiry
+        #: raises :class:`~repro.errors.OptimizerTimeoutError`, which the
+        #: session treats as "re-optimize without CSEs" — the paper's
+        #: always-valid no-sharing baseline.
+        self.deadline = deadline
         self._stats = OptimizerStats()
+
+    def _check_deadline(self) -> None:
+        """Raise :class:`OptimizerTimeoutError` past the deadline."""
+        if self.deadline is not None and time.monotonic() >= self.deadline:
+            raise OptimizerTimeoutError("optimizer deadline exceeded")
 
     # ------------------------------------------------------------------
     # Entry point
@@ -360,6 +372,7 @@ class Optimizer:
                 "cse_skipped", reason="below_cost_threshold", cost=base_cost
             )
             return finish_base()
+        self._check_deadline()
 
         # --- Step 2: candidate generation -----------------------------------
         with self.tracer.span("candidate_generation"):
@@ -392,6 +405,7 @@ class Optimizer:
             best_cost = base_cost
             best_bundle = base_bundle
             while True:
+                self._check_deadline()
                 subset = enumerator.next_subset()
                 if subset is None:
                     break
@@ -494,6 +508,7 @@ class Optimizer:
         journal = self.journal
         definitions = []
         for signature, groups in buckets:
+            self._check_deadline()
             if signature.table_count < options.min_cse_tables:
                 continue
             if options.enable_heuristics:

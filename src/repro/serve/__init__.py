@@ -1,10 +1,13 @@
-"""The serving layer: plan caching and parallel batch execution.
+"""The serving layer: plan caching, parallel execution, and governance.
 
 Built for the warm path: a session serving the same (or similar) batches
-repeatedly should pay optimization once (:class:`PlanCache`) and execute
-each bundle's spool DAG concurrently (:class:`ParallelExecutor`). See
-README.md § Serving for semantics and DESIGN.md for the mapping back to
-the paper's §5.4/§5.5.
+repeatedly should pay optimization once (:class:`PlanCache`), execute each
+bundle's spool DAG concurrently (:class:`ParallelExecutor`), and stay
+responsive under load (:class:`ResourceGovernor` admission control plus
+per-batch :class:`QueryBudget` deadlines and spool budgets, with graceful
+degradation to the paper's no-sharing baseline). See README.md § Serving
+and § Resource governance for semantics and DESIGN.md for the mapping back
+to the paper's §5.4/§5.5.
 """
 
 from .cache import CacheEntry, PlanCache
@@ -15,14 +18,18 @@ from .fingerprint import (
     cache_key,
     config_key,
 )
+from .governor import CancellationToken, QueryBudget, ResourceGovernor
 from .parallel import ParallelExecutor
 from .schedule import Schedule, TaskSpec, build_schedule
 
 __all__ = [
     "CacheEntry",
     "CacheKey",
+    "CancellationToken",
     "ParallelExecutor",
     "PlanCache",
+    "QueryBudget",
+    "ResourceGovernor",
     "Schedule",
     "TaskSpec",
     "batch_fingerprint",

@@ -31,7 +31,7 @@ import time
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from typing import Dict, List, Optional, Tuple
 
-from ..errors import ExecutionError
+from ..errors import ExecutionError, QueryCancelledError
 from ..executor.executor import BatchResult, Executor, QueryResult
 from ..executor.iterators import materialize_spool
 from ..executor.runtime import ExecutionContext, ExecutionMetrics
@@ -41,6 +41,7 @@ from ..optimizer.engine import PlanBundle
 from ..optimizer.physical import PhysicalPlan
 from ..storage.database import Database
 from ..storage.worktable import WorkTable
+from .governor import CancellationToken
 from .schedule import Schedule, TaskSpec, build_schedule
 
 
@@ -78,16 +79,31 @@ class ParallelExecutor(Executor):
         self.workers = workers
 
     def execute(
-        self, bundle: PlanBundle, collect_op_stats: bool = False
+        self,
+        bundle: PlanBundle,
+        collect_op_stats: bool = False,
+        token: Optional[CancellationToken] = None,
     ) -> BatchResult:
-        """Execute a bundle with dependency-aware parallelism."""
+        """Execute a bundle with dependency-aware parallelism.
+
+        ``token`` is shared by every task: a deadline/budget trip in one
+        task cancels the token, so siblings abort at their next cooperative
+        checkpoint and not-yet-submitted dependents are never started."""
         if self.workers == 1:
-            return super().execute(bundle, collect_op_stats)
+            return super().execute(bundle, collect_op_stats, token=token)
         start = time.perf_counter()
         schedule = build_schedule(bundle)
+        # One dict build for the whole batch: the per-task lookup used to
+        # rebuild dict(bundle.root_spools) inside every spool task, an
+        # O(spools²) rescan of the bundle under a wide DAG.
+        spool_bodies: Dict[str, PhysicalPlan] = dict(bundle.root_spools)
+        # A batch-internal token (flag-only checks) when ungoverned, so
+        # first-failure propagation below can always cancel the DAG.
+        if token is None:
+            token = CancellationToken()
         spools: Dict[str, WorkTable] = {}
         outcomes = self._run_schedule(
-            schedule, bundle, spools, collect_op_stats
+            schedule, bundle, spool_bodies, spools, collect_op_stats, token
         )
         metrics = ExecutionMetrics()
         op_stats: Optional[Dict[int, OperatorStats]] = (
@@ -124,7 +140,10 @@ class ParallelExecutor(Executor):
     # ------------------------------------------------------------------
 
     def _task_context(
-        self, spools: Dict[str, WorkTable], collect_op_stats: bool
+        self,
+        spools: Dict[str, WorkTable],
+        collect_op_stats: bool,
+        token: Optional[CancellationToken] = None,
     ) -> ExecutionContext:
         return ExecutionContext(
             database=self.database,
@@ -132,43 +151,62 @@ class ParallelExecutor(Executor):
             registry=self.registry,
             spools=spools,
             op_stats={} if collect_op_stats else None,
+            token=token,
         )
 
     def _run_task(
         self,
         task: TaskSpec,
         bundle: PlanBundle,
+        spool_bodies: Dict[str, PhysicalPlan],
         spools: Dict[str, WorkTable],
         collect_op_stats: bool,
+        token: Optional[CancellationToken],
     ) -> _TaskOutcome:
-        ctx = self._task_context(spools, collect_op_stats)
+        ctx = self._task_context(spools, collect_op_stats, token)
         start = time.perf_counter()
-        if task.kind == "spool":
-            body = dict(bundle.root_spools)[task.label]
-            if task.label not in spools:
-                worktable = materialize_spool(task.label, body, ctx)
-                # Publishing the finished table is the consumers' latch:
-                # their tasks are only submitted after this one completes.
-                spools[task.label] = worktable
-            self.registry.observe(
-                "executor.task_seconds", time.perf_counter() - start
+        outcome = "ok"
+        try:
+            if task.kind == "spool":
+                body = spool_bodies[task.label]
+                if task.label not in spools:
+                    worktable = materialize_spool(task.label, body, ctx)
+                    # Publishing the finished table is the consumers' latch:
+                    # their tasks are only submitted after this one
+                    # completes — and it happens only after every budget
+                    # charge passed, so a cancelled task never leaves a
+                    # partial spool in the shared map.
+                    spools[task.label] = worktable
+                return _TaskOutcome(ctx.metrics, ctx.op_stats)
+            query_plan = next(
+                q for q in bundle.queries if q.name == task.label
             )
-            return _TaskOutcome(ctx.metrics, ctx.op_stats)
-        query_plan = next(
-            q for q in bundle.queries if q.name == task.label
-        )
-        result, plan = self._execute_query(query_plan, ctx)
-        self.registry.observe(
-            "executor.task_seconds", time.perf_counter() - start
-        )
-        return _TaskOutcome(ctx.metrics, ctx.op_stats, result, plan)
+            result, plan = self._execute_query(query_plan, ctx)
+            return _TaskOutcome(ctx.metrics, ctx.op_stats, result, plan)
+        except QueryCancelledError:
+            outcome = "cancelled"
+            raise
+        except BaseException:
+            outcome = "error"
+            raise
+        finally:
+            # Latency is recorded for every task, not just successes —
+            # otherwise the slowest (failing/timed-out) tasks vanish from
+            # the p99 — with the outcome tagged on the Prometheus series.
+            self.registry.observe(
+                "executor.task_seconds",
+                time.perf_counter() - start,
+                labels={"outcome": outcome},
+            )
 
     def _run_schedule(
         self,
         schedule: Schedule,
         bundle: PlanBundle,
+        spool_bodies: Dict[str, PhysicalPlan],
         spools: Dict[str, WorkTable],
         collect_op_stats: bool,
+        token: CancellationToken,
     ) -> Dict[int, _TaskOutcome]:
         """Topological wave scheduling with bounded workers."""
         outcomes: Dict[int, _TaskOutcome] = {}
@@ -184,7 +222,13 @@ class ParallelExecutor(Executor):
 
             def submit(task: TaskSpec) -> None:
                 future = pool.submit(
-                    self._run_task, task, bundle, spools, collect_op_stats
+                    self._run_task,
+                    task,
+                    bundle,
+                    spool_bodies,
+                    spools,
+                    collect_op_stats,
+                    token,
                 )
                 running[future] = task.index
 
@@ -197,10 +241,19 @@ class ParallelExecutor(Executor):
                     index = running.pop(future)
                     error = future.exception()
                     if error is not None:
-                        # Remember the first failure; stop submitting new
-                        # work but let in-flight tasks drain.
-                        if failure is None:
+                        # Remember the failure; stop submitting new work
+                        # and cancel the shared token so in-flight siblings
+                        # drain at their next checkpoint instead of running
+                        # to completion. The root cause wins over the
+                        # cancellations it induces in siblings.
+                        if failure is None or (
+                            isinstance(failure, QueryCancelledError)
+                            and not isinstance(error, QueryCancelledError)
+                        ):
                             failure = error
+                        token.cancel(
+                            f"task {by_index[index].label!r} failed: {error}"
+                        )
                         continue
                     outcomes[index] = future.result()
                     if failure is not None:

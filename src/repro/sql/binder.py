@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..catalog.schema import Catalog
-from ..errors import BindError, UnsupportedFeatureError
+from ..errors import BindError, StorageError, UnsupportedFeatureError
 from ..expr.expressions import (
     AggExpr,
     AggFunc,
@@ -541,9 +541,13 @@ class Binder:
                 and literal.data_type is DataType.STRING
                 and other.data_type is DataType.DATE
             ):
+                # Only the expected conversion failures (malformed ISO
+                # string, unconvertible value) fall through to the
+                # comparability type error; anything else is a real defect
+                # and must propagate.
                 try:
                     return Literal(date_to_int(literal.value), DataType.DATE)
-                except Exception:  # noqa: BLE001 - fall through to type error
+                except (ValueError, StorageError):
                     return literal
             return literal
 

@@ -91,6 +91,36 @@ class TestPredicates:
         with pytest.raises(BindError):
             bind_sql(catalog, "select 1 from customer where c_name > 5")
 
+    def test_malformed_date_literal_is_a_bind_error(self, catalog):
+        """A bad ISO string fails coercion, falls through to the
+        comparability check, and surfaces as BindError — not as a raw
+        ValueError from date parsing."""
+        with pytest.raises(BindError, match="cannot compare"):
+            bind_sql(
+                catalog,
+                "select o_orderkey from orders "
+                "where o_orderdate < 'not-a-date'",
+            )
+
+    def test_unexpected_coercion_failure_propagates(
+        self, catalog, monkeypatch
+    ):
+        """Only the expected conversion errors are swallowed during date
+        coercion; a genuine defect (here an injected KeyError) must
+        propagate instead of being masked as a type error."""
+        from repro.sql import binder as binder_module
+
+        def broken(value):
+            raise KeyError("injected defect in date conversion")
+
+        monkeypatch.setattr(binder_module, "date_to_int", broken)
+        with pytest.raises(KeyError, match="injected defect"):
+            bind_sql(
+                catalog,
+                "select o_orderkey from orders "
+                "where o_orderdate < '1996-07-01'",
+            )
+
     def test_between_expansion(self, catalog):
         query = bind_sql(
             catalog,

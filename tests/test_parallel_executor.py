@@ -131,6 +131,89 @@ def test_worker_failure_propagates(shared_spool_runs):
         executor.execute(result.bundle)
 
 
+class _CountingSpools(tuple):
+    """A root_spools stand-in that counts full iterations."""
+
+    iterations = 0
+
+    def __iter__(self):
+        self.iterations += 1
+        return super().__iter__()
+
+
+def test_spool_body_lookup_is_hoisted(shared_spool_runs):
+    """The spool-body map is built once per execute, not once per spool
+    task: rebuilding dict(bundle.root_spools) inside every task rescans
+    the bundle O(spools^2) across a wide DAG. Expected passes: one for
+    build_schedule, one for the hoisted body map."""
+    session, result, _ = shared_spool_runs["scaleup6"]
+    bundle = result.bundle
+    original = bundle.root_spools
+    assert len(original) >= 1
+    counting = _CountingSpools(original)
+    bundle.root_spools = counting
+    try:
+        executor = ParallelExecutor(
+            session.database, session.cost_model, workers=4
+        )
+        executor.execute(bundle)
+        iterations = counting.iterations
+    finally:
+        bundle.root_spools = original
+    assert iterations == 2, (
+        f"root_spools iterated {iterations}x; per-task dict rebuilds?"
+    )
+
+
+def test_task_seconds_observed_for_every_outcome(shared_spool_runs):
+    """Task latency lands in the histogram on failure too (tagged by
+    outcome), so failing tasks don't vanish from the p99."""
+    session, result, _ = shared_spool_runs["example1"]
+    registry = MetricsRegistry()
+
+    class FailingExecutor(ParallelExecutor):
+        def _execute_query(self, query_plan, ctx):
+            if query_plan.name == "Q2":
+                raise ExecutionError("injected Q2 failure")
+            return super()._execute_query(query_plan, ctx)
+
+    executor = FailingExecutor(
+        session.database, session.cost_model, registry=registry, workers=4
+    )
+    with pytest.raises(ExecutionError):
+        executor.execute(result.bundle)
+    errored = registry.histogram(
+        "executor.task_seconds", labels={"outcome": "error"}
+    )
+    assert errored is not None and errored.count == 1
+    succeeded = registry.histogram(
+        "executor.task_seconds", labels={"outcome": "ok"}
+    )
+    # The shared spool materialized before Q2 could fail.
+    assert succeeded is not None and succeeded.count >= 1
+
+
+def test_task_seconds_tags_cancelled_tasks(shared_spool_runs):
+    from repro.serve import QueryBudget
+
+    session, result, _ = shared_spool_runs["example1"]
+    assert result.bundle.root_spools
+    registry = MetricsRegistry()
+    executor = ParallelExecutor(
+        session.database, session.cost_model, registry=registry, workers=4
+    )
+    from repro.errors import BudgetExceededError
+
+    with pytest.raises(BudgetExceededError):
+        executor.execute(
+            result.bundle, token=QueryBudget(max_spool_rows=0).start()
+        )
+    cancelled = registry.histogram(
+        "executor.task_seconds", labels={"outcome": "cancelled"}
+    )
+    assert cancelled is not None and cancelled.count >= 1
+
+
 def test_threads_hammering_one_shared_session(small_db):
     """8 threads share one Session: mixed serial/parallel executes of two
     batches must all produce the reference rows, with no leaked errors and

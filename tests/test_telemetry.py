@@ -115,6 +115,46 @@ class TestExporter:
         with pytest.raises(ValueError):
             parse_prometheus_text("not a metric line!!!\n")
 
+    def test_labelled_histogram_series_round_trip(self):
+        """Label sets on one histogram family render as independent
+        Prometheus series (shared HELP/TYPE, per-series cumulative
+        buckets) and survive the strict checker."""
+        registry = MetricsRegistry()
+        for v in (0.001, 0.05):
+            registry.observe(
+                "executor.task_seconds", v, labels={"outcome": "ok"}
+            )
+        registry.observe(
+            "executor.task_seconds", 2.0, labels={"outcome": "error"}
+        )
+        registry.observe("executor.task_seconds", 0.01)  # unlabelled
+        text = render_prometheus(registry)
+        # One family header, not one per label set.
+        assert text.count("# TYPE repro_executor_task_seconds ") == 1
+        families = parse_prometheus_text(text)
+        counts = {
+            labels.get("outcome"): value
+            for labels, value in families["repro_executor_task_seconds_count"]
+        }
+        assert counts == {"ok": 2.0, "error": 1.0, None: 1.0}
+        ok_inf = [
+            value
+            for labels, value in families["repro_executor_task_seconds_bucket"]
+            if labels.get("outcome") == "ok" and labels.get("le") == "+Inf"
+        ]
+        assert ok_inf == [2.0]
+
+    def test_series_key_round_trip(self):
+        from repro.obs.metrics import series_key, split_series_key
+
+        key = series_key("executor.task_seconds", {"outcome": "ok", "a": "b"})
+        assert key == 'executor.task_seconds{a="b",outcome="ok"}'
+        assert split_series_key(key) == (
+            "executor.task_seconds", 'a="b",outcome="ok"'
+        )
+        assert series_key("plain") == "plain"
+        assert split_series_key("plain") == ("plain", "")
+
     def test_server_round_trip(self):
         registry = MetricsRegistry()
         registry.counter("optimizer.batches", 7)
