@@ -16,6 +16,7 @@ against a synthetic TPC-H database; ``explain`` prints the chosen plan;
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import List, Optional
 
@@ -50,6 +51,14 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("sql", help="SQL text (use ; to separate a batch)")
     query.add_argument("--no-cse", action="store_true")
     query.add_argument("--no-heuristics", action="store_true")
+    query.add_argument(
+        "--no-history-reuse", action="store_true",
+        help=(
+            "disable §5.4 optimization-history reuse: every Step-3 pass "
+            "re-optimizes all memo groups from scratch (plans are "
+            "identical; only optimization time differs)"
+        ),
+    )
     query.add_argument(
         "--compare", action="store_true",
         help="run no-CSE / CSE / no-heuristics side by side",
@@ -110,6 +119,10 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--no-cse", action="store_true")
     explain.add_argument("--no-heuristics", action="store_true")
     explain.add_argument(
+        "--no-history-reuse", action="store_true",
+        help="disable §5.4 optimization-history reuse (see `query`)",
+    )
+    explain.add_argument(
         "--costs", action="store_true",
         help="annotate every operator with estimated costs",
     )
@@ -162,12 +175,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _options(args: argparse.Namespace) -> OptimizerOptions:
     if getattr(args, "no_cse", False):
-        return OptimizerOptions(enable_cse=False)
-    if getattr(args, "no_heuristics", False):
-        return OptimizerOptions(
+        options = OptimizerOptions(enable_cse=False)
+    elif getattr(args, "no_heuristics", False):
+        options = OptimizerOptions(
             enable_heuristics=False, max_cse_optimizations=16
         )
-    return OptimizerOptions()
+    else:
+        options = OptimizerOptions()
+    if getattr(args, "no_history_reuse", False):
+        options = dataclasses.replace(options, reuse_history=False)
+    return options
 
 
 def _cmd_query(args: argparse.Namespace, out) -> int:

@@ -384,6 +384,34 @@ TRUE = Literal(True, DataType.BOOL)
 FALSE = Literal(False, DataType.BOOL)
 
 
+def canon_key(obj: Any) -> str:
+    """A stable textual sort key for an expression-like object, computed
+    once and cached on the object.
+
+    Canonicalization in the memo sorts columns, aggregates, and join items
+    by their ``repr`` in a dozen places; recomputing ``repr`` for every
+    comparison makes each sort O(n log n) *tree walks*. Expression nodes
+    are immutable, so the first ``repr`` is authoritative — it is interned
+    on the instance (frozen dataclasses forbid plain assignment but not
+    :func:`object.__setattr__`) and every later sort reuses it. Objects
+    with ``__slots__`` (none of ours today) just fall back to an uncached
+    ``repr``.
+    """
+    key = getattr(obj, "_canon_key_cache", None)
+    if key is None:
+        key = repr(obj)
+        try:
+            object.__setattr__(obj, "_canon_key_cache", key)
+        except (AttributeError, TypeError):
+            pass
+    return key
+
+
+def canon_sorted(items: Any) -> list:
+    """``sorted(items, key=repr)`` with the per-object cached key."""
+    return sorted(items, key=canon_key)
+
+
 def column(table_ref: TableRef, name: str, data_type: DataType) -> ColumnRef:
     """Convenience constructor for :class:`ColumnRef`."""
     return ColumnRef(table_ref, name, data_type)

@@ -40,6 +40,11 @@ kind                      meaning / key fields
                           ``write_cost``, ``read_cost``, ``lca_gid``,
                           ``lifted_to_root``
 ``single_consumer``       §5.1 LCA discard tally: ``cse_id``, ``discards``
+``history``               §5.4 per-pass reuse accounting: ``pass_index``,
+                          ``subset``, ``groups_reused``,
+                          ``groups_recomputed``, ``planset_hits``,
+                          ``tops_folded``, ``reuse`` (hit ratio),
+                          ``seconds``
 ``verdict``               final outcome: ``cse_id``, ``kept``, ``reason``
 ========================  ====================================================
 """
@@ -155,6 +160,29 @@ class DecisionJournal:
         if stage_lines:
             lines.append("candidate generation:")
             lines.extend(stage_lines)
+
+        history = self.events("history")
+        if history:
+            lines.append("optimization-history reuse (§5.4):")
+            total_reused = total_recomputed = 0
+            for entry in history:
+                subset = ", ".join(entry.get("subset") or ())
+                reused = entry.get("groups_reused", 0)
+                recomputed = entry.get("groups_recomputed", 0)
+                total_reused += reused
+                total_recomputed += recomputed
+                lines.append(
+                    f"  pass {entry.get('pass_index')} [{subset}]: "
+                    f"{reused} group(s) reused, {recomputed} recomputed, "
+                    f"{entry.get('tops_folded', 0)} top(s) folded from "
+                    f"history ({entry.get('seconds', 0.0):.4f}s)"
+                )
+            visits = total_reused + total_recomputed
+            ratio = total_reused / visits if visits else 0.0
+            lines.append(
+                f"  reuse ratio: {total_reused}/{visits} group results "
+                f"({ratio:.0%}) carried over from earlier passes"
+            )
 
         verdicts = self.verdicts()
         candidate_ids = [

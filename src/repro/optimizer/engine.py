@@ -22,6 +22,7 @@ memo (:mod:`repro.optimizer.memo`):
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import time
 from dataclasses import dataclass, field
@@ -152,6 +153,13 @@ class PlanBundle:
             lines.append(query.plan.describe(1))
         return "\n".join(lines)
 
+    def fingerprint(self) -> str:
+        """Stable short digest of the whole bundle's shape — what the
+        history-reuse tests and benchmarks compare to assert that §5.4
+        reuse changed the work done, not the plans chosen."""
+        text = self.describe().encode("utf-8")
+        return hashlib.sha256(text).hexdigest()[:16]
+
     def used_cses(self) -> List[str]:
         """CSE ids actually materialized by this bundle, in order."""
         used: List[str] = [cid for cid, _ in self.root_spools]
@@ -177,6 +185,9 @@ class OptimizerStats:
     optimization_time: float = 0.0
     normal_time: float = 0.0
     cse_time: float = 0.0
+    #: wall time inside the Step-3 enumeration loop proper (a subset of
+    #: ``cse_time``, which also covers Step-2 candidate generation).
+    step3_time: float = 0.0
     est_cost_no_cse: float = 0.0
     est_cost_final: float = 0.0
     candidates_generated: int = 0
@@ -186,6 +197,14 @@ class OptimizerStats:
     signature_registrations: int = 0
     memo_groups: int = 0
     single_consumer_discards: int = 0
+    #: §5.4 optimization-history reuse, totalled over Step-3 passes:
+    #: plan-set cache hits / computes, distinct groups whose result was
+    #: created by an *earlier* pass, and query tops folded from a cached
+    #: assembly prefix.
+    history_hits: int = 0
+    history_misses: int = 0
+    history_groups_reused: int = 0
+    history_tops_folded: int = 0
     used_cses: List[str] = field(default_factory=list)
     candidate_ids: List[str] = field(default_factory=list)
     prune_trace: Optional[PruneTrace] = None
@@ -213,6 +232,10 @@ class OptimizerStats:
             "optimizer.cse_passes": self.cse_optimizations,
             "optimizer.single_consumer_discards": self.single_consumer_discards,
             "optimizer.cses_kept": len(self.used_cses),
+            "optimizer.history.hits": self.history_hits,
+            "optimizer.history.misses": self.history_misses,
+            "optimizer.history.groups_reused": self.history_groups_reused,
+            "optimizer.history.tops_folded": self.history_tops_folded,
         }
         for key, count in self.pruned_per_heuristic().items():
             summary[f"optimizer.pruned_{key.lower()}"] = count
@@ -249,11 +272,9 @@ class _PassContext:
     closings: Dict[int, List[CandidateCse]]
     #: candidates settled at the batch root (cross-query or stacked).
     root_cses: Tuple[CandidateCse, ...]
-
-    @property
-    def enabled_ids(self) -> FrozenSet[str]:
-        """Ids of the candidates enabled in this pass."""
-        return frozenset(c.cse_id for c in self.enabled)
+    #: ids of the enabled candidates, precomputed once per pass — the
+    #: history cache intersects it with a group footprint per group visit.
+    enabled_ids: FrozenSet[str] = frozenset()
 
 
 class Optimizer:
@@ -290,6 +311,41 @@ class Optimizer:
         if self.deadline is not None and time.monotonic() >= self.deadline:
             raise OptimizerTimeoutError("optimizer deadline exceeded")
 
+    # -- §5.4 per-pass history bookkeeping ------------------------------
+
+    def _begin_pass(self, index: int) -> None:
+        """Reset the per-pass §5.4 reuse counters (index 0 = base pass)."""
+        self._pass_index = index
+        self._pass_hits = 0
+        self._pass_misses = 0
+        self._pass_reused_gids: Set[int] = set()
+        self._pass_fold_hits = 0
+
+    def _end_pass(self, subset: FrozenSet[str], seconds: float) -> None:
+        """Publish one Step-3 pass's reuse accounting: run stats, the
+        per-pass latency histogram, and a journal ``history`` event."""
+        stats = self._stats
+        hits = self._pass_hits
+        misses = self._pass_misses
+        reused = len(self._pass_reused_gids)
+        stats.history_hits += hits
+        stats.history_misses += misses
+        stats.history_groups_reused += reused
+        stats.history_tops_folded += self._pass_fold_hits
+        self.registry.observe("optimizer.history.pass_seconds", seconds)
+        total = hits + misses
+        self.journal.event(
+            "history",
+            pass_index=self._pass_index,
+            subset=sorted(subset),
+            groups_reused=reused,
+            groups_recomputed=misses,
+            planset_hits=hits,
+            tops_folded=self._pass_fold_hits,
+            reuse=round(hits / total, 4) if total else 0.0,
+            seconds=round(seconds, 6),
+        )
+
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
@@ -313,8 +369,11 @@ class Optimizer:
         registry.counter("optimizer.batches")
         registry.timer_add("optimizer.normal", stats.normal_time)
         registry.timer_add("optimizer.cse", stats.cse_time)
+        registry.timer_add("optimizer.step3", stats.step3_time)
         registry.timer_add("optimizer.total", stats.optimization_time)
-        # Phase latency distributions (p50/p95/p99 via the exporter).
+        # Phase latency distributions (p50/p95/p99 via the exporter). The
+        # per-pass Step-3 histogram (optimizer.history.pass_seconds) is
+        # observed live inside the enumeration loop.
         registry.observe("optimizer.normal_seconds", stats.normal_time)
         registry.observe("optimizer.cse_seconds", stats.cse_time)
         registry.observe("optimizer.total_seconds", stats.optimization_time)
@@ -332,6 +391,18 @@ class Optimizer:
             self._memo = memo
             self._plan_cache: Dict[Tuple[int, FrozenSet[str]], PlanSet] = {}
             self._consumer_gids: Dict[str, Set[int]] = {}
+            # --- §5.4 optimization-history state --------------------------
+            #: per-gid candidate footprints (None until Step 2 computes them;
+            #: the base pass needs no footprints — nothing is enabled).
+            self._footprints: Optional[List[FrozenSet[str]]] = None
+            #: which pass created each plan-cache entry (0 = base pass).
+            self._cache_pass: Dict[Tuple[int, FrozenSet[str]], int] = {}
+            #: (top index, relevant ids) -> finalized per-top plan set.
+            self._finalize_cache: Dict[Tuple[int, FrozenSet[str]], Dict] = {}
+            #: assembly-prefix key -> folded combined plan set.
+            self._fold_cache: Dict[Tuple, Dict] = {}
+            self._pass_index = 0
+            self._begin_pass(0)
             self._tops: List[Tuple[str, object, Group]] = []
 
             for query in batch.queries:
@@ -347,6 +418,7 @@ class Optimizer:
 
             manager = CseManager()
             manager.register_all(memo.signature_log)
+            self._manager = manager
             stats.signature_registrations = manager.registrations
 
             # --- normal optimization --------------------------------------
@@ -399,11 +471,13 @@ class Optimizer:
 
         # --- Step 3: optimization with candidate subsets ----------------------
         with self.tracer.span("cse_optimization"):
+            step3_start = time.perf_counter()
             enumerator = SubsetEnumerator(
                 candidates, memo, self.options.max_cse_optimizations
             )
             best_cost = base_cost
             best_bundle = base_bundle
+            reuse = self.options.reuse_history
             while True:
                 self._check_deadline()
                 subset = enumerator.next_subset()
@@ -414,6 +488,16 @@ class Optimizer:
                 )
                 ctx = self._build_pass_context(enabled)
                 stats.cse_optimizations += 1
+                self._begin_pass(stats.cse_optimizations)
+                if not reuse:
+                    # §5.4 off: forget all history so this pass re-optimizes
+                    # every group from scratch — the naive per-subset loop
+                    # the paper improves on.
+                    self._plan_cache.clear()
+                    self._cache_pass.clear()
+                    self._finalize_cache.clear()
+                    self._fold_cache.clear()
+                pass_start = time.perf_counter()
                 with self.tracer.span(
                     "cse_pass", subset=sorted(subset)
                 ) as span:
@@ -422,10 +506,12 @@ class Optimizer:
                     if span is not None:
                         span.attrs["cost"] = round(cost, 2)
                         span.attrs["used"] = sorted(used)
+                self._end_pass(subset, time.perf_counter() - pass_start)
                 enumerator.report(subset, used)
                 if cost < best_cost:
                     best_cost = cost
                     best_bundle = bundle
+            stats.step3_time = time.perf_counter() - step3_start
 
         stats.est_cost_final = best_cost
         stats.used_cses = best_bundle.used_cses()
@@ -632,6 +718,14 @@ class Optimizer:
                     or candidate.lca_gid == self._root.gid
                 ),
             )
+        # §5.4: per-group candidate footprints — for each memo group, the
+        # candidate ids whose substitutes can appear anywhere in its
+        # subtree. Every Step-3 cache key derives from footprint ∩ enabled.
+        for cid, gids in self._consumer_gids.items():
+            self._manager.record_consumers(cid, gids)
+        self._footprints = memo.candidate_footprints(
+            self._manager.consumer_map()
+        )
         return candidates
 
     def _find_stacked_consumers(self, candidates: List[CandidateCse]) -> None:
@@ -700,6 +794,7 @@ class Optimizer:
             substitutions=substitutions,
             closings=closings,
             root_cses=tuple(root_cses),
+            enabled_ids=frozenset(enabled_ids),
         )
 
     # ------------------------------------------------------------------
@@ -707,8 +802,23 @@ class Optimizer:
     # ------------------------------------------------------------------
 
     def _relevant_ids(self, group: Group, ctx: _PassContext) -> FrozenSet[str]:
+        """The enabled candidate ids that can affect ``group``'s plan set:
+        the group's §5.4 candidate footprint ∩ the pass's enabled set. Two
+        passes agreeing on this set get identical plan sets for the group,
+        which is what makes the history cache sound."""
         if not ctx.enabled:
             return frozenset()
+        footprints = self._footprints
+        if footprints is not None and group.gid < len(footprints):
+            return footprints[group.gid] & ctx.enabled_ids
+        return self._relevant_ids_slow(group, ctx)
+
+    def _relevant_ids_slow(
+        self, group: Group, ctx: _PassContext
+    ) -> FrozenSet[str]:
+        """Footprint-free fallback (and the cross-check oracle the tests
+        use): intersect each candidate's consumer gids with the group's
+        descendant set, recomputed per call."""
         covered = self._memo.descendants(group) | {group.gid}
         relevant = set()
         for candidate in ctx.enabled:
@@ -721,7 +831,14 @@ class Optimizer:
         cache_key = (group.gid, relevant)
         cached = self._plan_cache.get(cache_key)
         if cached is not None:
+            self._pass_hits += 1
+            if self._cache_pass.get(cache_key, 0) < self._pass_index:
+                self._pass_reused_gids.add(group.gid)
             return cached
+        self._pass_misses += 1
+        # Reused paths return above without this check, so it must sit on
+        # the compute path to keep the governor's deadline live per group.
+        self._check_deadline()
 
         plans: PlanSet = {}
 
@@ -763,6 +880,7 @@ class Optimizer:
             raise OptimizerError(f"group g{group.gid} produced no plan")
         plans = _cap_planset(plans, 200)
         self._plan_cache[cache_key] = plans
+        self._cache_pass[cache_key] = self._pass_index
         return plans
 
     def _close_candidate(self, plans: PlanSet, candidate: CandidateCse) -> PlanSet:
@@ -994,27 +1112,65 @@ class Optimizer:
         plan = PhysProject(choice.plan, block.output, est_rows=rows)
         return cost, plan
 
+    def _finalized_top(
+        self, idx: int, tag: str, payload, top: Group, ctx: _PassContext
+    ) -> Tuple[
+        FrozenSet[str], Dict[Profile, Tuple[float, PhysicalPlan]]
+    ]:
+        """One top's plan set with per-query finalization (HAVING, final
+        projection, ORDER BY) already applied, as profile -> (cost, plan).
+
+        Cached by (top index, relevant ids): finalization depends only on
+        the query block and the top's plan set, and the relevant-ids key
+        pins the latter down — so the result is reusable across Step-3
+        passes. Hoisting it here also removes the finalize work from the
+        |combined| × |child plan set| fold loop of :meth:`_assemble`."""
+        relevant = self._relevant_ids(top, ctx)
+        key = (idx, relevant)
+        cached = self._finalize_cache.get(key)
+        if cached is not None:
+            return relevant, cached
+        child_set = self._optimize_group(top, ctx)
+        finalized: Dict[Profile, Tuple[float, PhysicalPlan]] = {}
+        for profile, choice in child_set.items():
+            if tag == "query":
+                cost, plan = self._finalize_query(payload, top, choice)
+            else:
+                query, sid = payload
+                sub_block = query.subqueries[sid]
+                cost, plan = self._finalize_subquery(top, sub_block, choice)
+            finalized[profile] = (cost, plan)
+        self._finalize_cache[key] = finalized
+        return relevant, finalized
+
     def _assemble(self, ctx: _PassContext) -> Tuple[float, PlanBundle]:
         """Optimize all tops under ``ctx`` and settle root-level CSEs."""
-        # Fold children plansets: profile -> (cost, plans tuple).
+        # Fold children plansets: profile -> (cost, plans tuple). The fold
+        # is a left-to-right reduction over the fixed top order, so a pass
+        # agreeing with an earlier one on every (top, relevant-ids) pair of
+        # a prefix can resume from that prefix's cached fold (§5.4). The
+        # cached dicts are never mutated downstream — later fold steps and
+        # the root settlement below only read them.
         combined: Dict[Profile, Tuple[float, Tuple[PhysicalPlan, ...]]] = {
             EMPTY_PROFILE: (0.0, ())
         }
-        for tag, payload, top in self._tops:
-            child_set = self._optimize_group(top, ctx)
+        prefix_key: Tuple = ()
+        for idx, (tag, payload, top) in enumerate(self._tops):
+            self._check_deadline()
+            relevant, finalized = self._finalized_top(
+                idx, tag, payload, top, ctx
+            )
+            prefix_key = prefix_key + ((top.gid, relevant),)
+            cached_fold = self._fold_cache.get(prefix_key)
+            if cached_fold is not None:
+                combined = cached_fold
+                self._pass_fold_hits += 1
+                continue
             folded: Dict[Profile, Tuple[float, Tuple[PhysicalPlan, ...]]] = {}
             for profile0, (cost0, plans0) in combined.items():
-                for profile1, choice in child_set.items():
-                    if tag == "query":
-                        extra, plan = self._finalize_query(payload, top, choice)
-                    else:
-                        query, sid = payload
-                        sub_block = query.subqueries[sid]
-                        extra, plan = self._finalize_subquery(
-                            top, sub_block, choice
-                        )
+                for profile1, (cost1, plan) in finalized.items():
                     profile = _profile_merge(profile0, profile1)
-                    cost = cost0 + extra
+                    cost = cost0 + cost1
                     entry = folded.get(profile)
                     if entry is None or cost < entry[0]:
                         folded[profile] = (cost, plans0 + (plan,))
@@ -1024,6 +1180,7 @@ class Optimizer:
                     keep.append((EMPTY_PROFILE, folded[EMPTY_PROFILE]))
                 folded = dict(keep)
             combined = folded
+            self._fold_cache[prefix_key] = combined
 
         root_ids = frozenset(c.cse_id for c in ctx.root_cses)
         best: Optional[Tuple[float, Tuple[PhysicalPlan, ...], Tuple]] = None

@@ -44,6 +44,8 @@ from ..expr.expressions import (
     Comparison,
     Expr,
     TableRef,
+    canon_key,
+    canon_sorted,
 )
 from ..expr.predicates import (
     EquivalenceClasses,
@@ -407,8 +409,8 @@ class Memo:
             "agg",
             block.name,
             full_tables,
-            tuple(sorted(block.group_keys, key=repr)),
-            tuple(sorted(block.aggregates, key=repr)),
+            tuple(canon_sorted(block.group_keys)),
+            tuple(canon_sorted(block.aggregates)),
         )
         group = self._new_group(key, "agg", block, part_id, frozenset(block.tables))
         group.agg_keys = block.group_keys
@@ -506,7 +508,7 @@ class Memo:
         of an equijoin kept as pre-aggregation keys) must not multiply the
         group-count domain."""
         chosen: List[ColumnRef] = []
-        for key in sorted(keys, key=repr):
+        for key in canon_sorted(keys):
             if any(info.classes.same_class(key, kept) for kept in chosen):
                 continue
             chosen.append(key)
@@ -519,18 +521,18 @@ class Memo:
             k for k in info.block.group_keys if k.table_ref in subset
         }
         keys.update(info.spanning_columns(subset))
-        return tuple(sorted(keys, key=repr))
+        return tuple(canon_sorted(keys))
 
     def _build_preagg_group(
         self, info: BlockInfo, part_id: str, item: AggItem
     ) -> Group:
         block = info.block
-        outs = tuple(sorted((p.out for p in item.partials), key=repr))
+        outs = tuple(canon_sorted(p.out for p in item.partials))
         key = (
             "agg",
             block.name,
             item.source,
-            tuple(sorted(item.keys, key=repr)),
+            tuple(canon_sorted(item.keys)),
             outs,
         )
         existing = self._groups_by_key.get(key)
@@ -636,7 +638,7 @@ class Memo:
             extra.extend(agg_item.keys)
             extra.extend(p.out for p in agg_item.partials)
         required: List[Expr] = [
-            c for c in sorted(info.required, key=repr)
+            c for c in canon_sorted(info.required)
             if c.table_ref in tables and c.table_ref not in hidden
         ]
         seen: Set[Expr] = set(required)
@@ -677,7 +679,7 @@ class Memo:
             # Single AggItem groups are aggregate groups, never join groups.
             return group
 
-        ordered = sorted(items, key=repr)
+        ordered = canon_sorted(items)
         anchor = ordered[0]
         for mask in range(0, 2 ** (len(ordered) - 1)):
             left_items = {anchor}
@@ -710,12 +712,12 @@ class Memo:
         return group
 
     def _agg_item_group(self, item: AggItem, info: BlockInfo) -> Optional[Group]:
-        outs = tuple(sorted((p.out for p in item.partials), key=repr))
+        outs = tuple(canon_sorted(p.out for p in item.partials))
         key = (
             "agg",
             info.block.name,
             item.source,
-            tuple(sorted(item.keys, key=repr)),
+            tuple(canon_sorted(item.keys)),
             outs,
         )
         return self._groups_by_key.get(key)
@@ -726,7 +728,7 @@ class Memo:
         singleton = frozenset([table])
         conjuncts: List[Expr] = []
         for cls in info.classes_within(singleton):
-            members = sorted(cls, key=repr)
+            members = canon_sorted(cls)
             first = members[0]
             for member in members[1:]:
                 from ..expr.expressions import ComparisonOp
@@ -802,15 +804,13 @@ class Memo:
         all_tables = left_tables | right_tables
         hash_keys: List[Tuple[ColumnRef, ColumnRef]] = []
         for cls in info.classes_within(all_tables):
-            left_members = sorted(
-                (m for m in cls
-                 if m.table_ref in left_tables and self._visible_columns_of(m, left)),
-                key=repr,
+            left_members = canon_sorted(
+                m for m in cls
+                if m.table_ref in left_tables and self._visible_columns_of(m, left)
             )
-            right_members = sorted(
-                (m for m in cls
-                 if m.table_ref in right_tables and self._visible_columns_of(m, right)),
-                key=repr,
+            right_members = canon_sorted(
+                m for m in cls
+                if m.table_ref in right_tables and self._visible_columns_of(m, right)
             )
             if left_members and right_members:
                 hash_keys.append((left_members[0], right_members[0]))
@@ -908,8 +908,59 @@ class Memo:
         return result
 
     def invalidate_dag_cache(self) -> None:
-        """Drop cached descendant sets after adding groups."""
+        """Drop cached descendant sets (and footprints) after adding groups."""
         self._desc_cache = {}
+        self._footprint_cache = None
+
+    def candidate_footprints(
+        self, consumers: Dict[str, Set[int]]
+    ) -> List[FrozenSet[str]]:
+        """Per-group *candidate footprints* (§5.4), indexed by gid.
+
+        A candidate's id is in a group's footprint when at least one of the
+        candidate's view-matched consumer groups lies in the group's subtree
+        (the group itself included). During CSE optimization the profile DP's
+        result for a group can only depend on the enabled candidates inside
+        its subtree, so ``footprint ∩ enabled`` is a sound history-cache key:
+        passes whose enabled sets agree on that intersection reuse the
+        group's plans verbatim.
+
+        Computed bottom-up over the memo DAG in one memoized DFS (children
+        can carry *higher* gids than parents — pre-aggregation exploration
+        appends join groups after the final agg group — so a gid-ordered
+        scan would be wrong). The result is cached per consumer map and
+        dropped by :meth:`invalidate_dag_cache`.
+        """
+        cache_key = tuple(
+            (cid, tuple(sorted(gids))) for cid, gids in sorted(consumers.items())
+        )
+        cached = getattr(self, "_footprint_cache", None)
+        if cached is not None and cached[0] == cache_key:
+            return cached[1]
+        rooted: Dict[int, Set[str]] = {}
+        for cid, gids in consumers.items():
+            for gid in gids:
+                rooted.setdefault(gid, set()).add(cid)
+        memo: Dict[int, FrozenSet[str]] = {}
+
+        def visit(group: Group) -> FrozenSet[str]:
+            known = memo.get(group.gid)
+            if known is not None:
+                return known
+            memo[group.gid] = frozenset()  # placeholder guards against cycles
+            result: Set[str] = set(rooted.get(group.gid, ()))
+            for expr in group.exprs:
+                for child in expr.input_groups():
+                    result.update(visit(child))
+            footprint = frozenset(result)
+            memo[group.gid] = footprint
+            return footprint
+
+        for group in self.groups:
+            visit(group)
+        footprints = [memo[group.gid] for group in self.groups]
+        self._footprint_cache = (cache_key, footprints)
+        return footprints
 
     def least_common_ancestor(self, consumer_gids: Sequence[int]) -> Group:
         """The lowest group whose descendants (plus itself) cover all

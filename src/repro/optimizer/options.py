@@ -75,6 +75,16 @@ class OptimizerOptions:
     max_candidates: int = 64
     max_cse_optimizations: int = 128
 
+    #: §5.4 optimization-history reuse: keep per-group plan sets (keyed by
+    #: the group's candidate footprint ∩ the enabled set), finalized
+    #: per-query plan sets, and folded assembly prefixes alive across
+    #: Step-3 passes, so each pass re-optimizes only the groups whose
+    #: relevant enabled candidates actually changed. Off reproduces the
+    #: naive scheme the paper improves on — every pass re-optimizes the
+    #: whole batch from scratch. Plans are identical either way; only the
+    #: work to find them differs.
+    reuse_history: bool = True
+
     #: Cost accounting for shared spools. ``"profile"`` is the paper's
     #: correct scheme (§5.2: usage cost per consumer, initial cost once at
     #: the LCA, single-consumer plans discarded). ``"naive_split"``

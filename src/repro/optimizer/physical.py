@@ -10,6 +10,7 @@ metric accounting line up with the optimizer's estimates.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -19,7 +20,13 @@ from .aggs import AggCompute
 
 
 class PhysicalPlan:
-    """Base class for physical operators."""
+    """Base class for physical operators.
+
+    Plans are treated as immutable once built: the optimizer's §5.4
+    history cache hands the same node objects out to every Step-3 pass
+    whose relevant candidate set matches, and `_assemble`'s folded plan
+    tuples alias them freely. Nothing may mutate a node after
+    construction."""
 
     est_rows: float = 0.0
 
@@ -30,6 +37,13 @@ class PhysicalPlan:
         yield self
         for child in self.children():
             yield from child.walk()
+
+    def fingerprint(self) -> str:
+        """Stable short digest of the plan's shape (sha256 of
+        :meth:`describe`, first 16 hex chars) — what the history-reuse
+        tests and benchmarks compare across optimizer modes."""
+        text = self.describe().encode("utf-8")
+        return hashlib.sha256(text).hexdigest()[:16]
 
     # -- explain -----------------------------------------------------------
 

@@ -174,3 +174,52 @@ class TestAggExpr:
         agg = AggExpr(AggFunc.SUM, Arithmetic(ArithmeticOp.ADD, col("x"), col("y")))
         nodes = list(agg.walk())
         assert agg in nodes and col("x") in nodes and col("y") in nodes
+
+
+class TestCanonKey:
+    """The cached canonicalization sort key (memo hot-path fix)."""
+
+    def test_key_is_repr_and_cached(self):
+        from repro.expr.expressions import canon_key
+
+        c = col("x")
+        assert canon_key(c) == repr(c)
+        assert c._canon_key_cache == repr(c)
+        assert canon_key(c) is c._canon_key_cache
+
+    def test_repr_not_reinvoked_across_canonicalizations(self, monkeypatch):
+        """Regression: repeated ``canon_sorted`` passes over the same
+        expression objects must call ``__repr__`` once per object total —
+        not once per pass, and a fortiori not O(n log n) per sort."""
+        from repro.expr.expressions import canon_sorted
+
+        calls = {"n": 0}
+        original = ColumnRef.__repr__
+
+        def counting_repr(self):
+            calls["n"] += 1
+            return original(self)
+
+        monkeypatch.setattr(ColumnRef, "__repr__", counting_repr)
+        cols = [col(f"c{i:03d}") for i in range(64)]
+        first = canon_sorted(cols)
+        for _ in range(9):
+            assert canon_sorted(cols) == first
+        assert calls["n"] == len(cols)
+
+    def test_sort_order_matches_plain_repr_sort(self):
+        from repro.expr.expressions import canon_sorted
+
+        cols = [col(name) for name in ("b", "a", "z", "m", "a2")]
+        assert canon_sorted(cols) == sorted(cols, key=repr)
+
+    def test_uncacheable_objects_fall_back(self):
+        from repro.expr.expressions import canon_key
+
+        class Slotted:
+            __slots__ = ()
+
+            def __repr__(self):
+                return "slotted"
+
+        assert canon_key(Slotted()) == "slotted"

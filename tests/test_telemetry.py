@@ -459,3 +459,45 @@ class TestTelemetryCli:
         text = out.getvalue()
         assert "/metrics" in text and "/healthz" in text
         assert "telemetry server stopped" in text
+
+
+class TestHistoryReuseMetrics:
+    """§5.4 optimization-history counters and the per-pass histogram
+    survive the Prometheus exporter's strict parse check."""
+
+    def _registry_after_multi_pass_batch(self):
+        from repro.workloads import scaleup_batch
+
+        registry = MetricsRegistry()
+        session = Session(
+            Session.tpch(scale_factor=0.002).database,
+            OptimizerOptions(),
+            registry=registry,
+        )
+        session.optimize(scaleup_batch(8))
+        return registry
+
+    def test_history_counters_render_and_parse(self):
+        registry = self._registry_after_multi_pass_batch()
+        text = render_prometheus(registry)
+        families = parse_prometheus_text(text)
+        for name in (
+            "repro_optimizer_history_hits_total",
+            "repro_optimizer_history_misses_total",
+            "repro_optimizer_history_groups_reused_total",
+            "repro_optimizer_history_tops_folded_total",
+        ):
+            assert name in families, f"missing {name}"
+        assert families["repro_optimizer_history_hits_total"][0][1] > 0
+        assert families["repro_optimizer_history_groups_reused_total"][0][1] > 0
+
+    def test_pass_seconds_histogram_renders_and_parses(self):
+        registry = self._registry_after_multi_pass_batch()
+        text = render_prometheus(registry)
+        families = parse_prometheus_text(text)
+        bucket = families["repro_optimizer_history_pass_seconds_bucket"]
+        inf = [v for labels, v in bucket if labels.get("le") == "+Inf"]
+        count = families["repro_optimizer_history_pass_seconds_count"][0][1]
+        assert inf == [count]
+        passes = registry.snapshot()["counters"]["optimizer.cse_passes"]
+        assert count == passes > 0
