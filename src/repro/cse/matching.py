@@ -16,12 +16,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..equiv import check_consumer_match
 from ..expr.expressions import AggExpr, ColumnRef, Expr, TableRef
 from ..expr.predicates import (
     EquivalenceClasses,
     implied_by_equalities,
     range_implies,
 )
+from ..obs import active_journal
 from ..optimizer.aggs import AggCompute, reaggregate_computes
 from ..optimizer.memo import BlockInfo, Group
 from .compatibility import slot_assignment
@@ -151,6 +153,22 @@ def try_match_consumer(
             mapped = remap_expr(expr, table_map)
             if not mapped.columns() <= available_columns:
                 return None
+
+    # Final admission gate: the independent bag-semantics checker
+    # (repro.equiv) must *prove* the containment obligations this matcher
+    # just derived. Anything short of a proof falls back to no sharing for
+    # this consumer — the gate is what makes widened-surface matches
+    # (semi/anti build sides, reduced outer joins) safe to admit.
+    verdict = check_consumer_match(definition, group, info)
+    active_journal().event(
+        "equiv",
+        cse_id=definition.cse_id,
+        consumer=f"g{group.gid}",
+        outcome=verdict.outcome,
+        reason=verdict.reason,
+    )
+    if not verdict.proved:
+        return None
 
     inverse = {v: k for k, v in table_map.items()}
     residual = tuple(remap_expr(c, inverse) for c in residual_body)

@@ -1,0 +1,24 @@
+"""Conservative bag-semantics equivalence checking (the proof gate for
+sharing over outer/semi/anti joins)."""
+
+from .checker import (
+    GAVE_UP,
+    PROVED,
+    REFUTED,
+    Verdict,
+    blocks_equivalent,
+    check_consumer_match,
+    null_rejecting,
+    outer_join_reducible,
+)
+
+__all__ = [
+    "GAVE_UP",
+    "PROVED",
+    "REFUTED",
+    "Verdict",
+    "blocks_equivalent",
+    "check_consumer_match",
+    "null_rejecting",
+    "outer_join_reducible",
+]

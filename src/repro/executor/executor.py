@@ -281,6 +281,7 @@ def bind_scalars(plan: PhysicalPlan, mapping: Dict[Expr, Expr]) -> PhysicalPlan:
             residual=_sub_all(plan.residual, mapping),
             outputs=plan.outputs,
             est_rows=plan.est_rows,
+            join_type=plan.join_type,
         )
     if isinstance(plan, PhysHashAgg):
         computes = tuple(

@@ -187,23 +187,71 @@ def _hash_join(plan: PhysHashJoin, ctx: ExecutionContext) -> Frame:
     else:
         left_idx = np.repeat(np.arange(n_left), n_right)
         right_idx = np.tile(np.arange(n_right), n_left)
-    joined: Frame = {}
-    for key, col in left.items():
-        joined[key] = col[left_idx]
-    for key, col in right.items():
-        if key not in joined:
-            joined[key] = col[right_idx]
+    pair_frame: Optional[Frame] = None
     if plan.residual:
+        # ON-clause semantics: the residual restricts the *matched pair*
+        # set. For inner joins this equals post-filtering; for outer joins
+        # a pair failing the residual is a non-match (the left row is then
+        # null-extended), and for semi/anti it does not witness existence.
+        pair_frame = {}
+        for key, col in left.items():
+            pair_frame[key] = col[left_idx]
+        for key, col in right.items():
+            if key not in pair_frame:
+                pair_frame[key] = col[right_idx]
         mask = np.ones(len(left_idx), dtype=bool)
         for conjunct in plan.residual:
-            mask &= evaluate_predicate(conjunct, joined)
-        joined = {k: v[mask] for k, v in joined.items()}
+            mask &= evaluate_predicate(conjunct, pair_frame)
+        left_idx = left_idx[mask]
+        right_idx = right_idx[mask]
+        pair_frame = {k: v[mask] for k, v in pair_frame.items()}
+    joined: Frame
+    if plan.join_type == "inner":
+        if pair_frame is not None:
+            joined = pair_frame
+        else:
+            joined = {}
+            for key, col in left.items():
+                joined[key] = col[left_idx]
+            for key, col in right.items():
+                if key not in joined:
+                    joined[key] = col[right_idx]
+    elif plan.join_type in ("semi", "anti"):
+        matched = np.zeros(n_left, dtype=bool)
+        matched[left_idx] = True
+        keep = matched if plan.join_type == "semi" else ~matched
+        joined = {key: col[keep] for key, col in left.items()}
+    elif plan.join_type == "left_outer":
+        matched = np.zeros(n_left, dtype=bool)
+        matched[left_idx] = True
+        unmatched = np.flatnonzero(~matched)
+        joined = {}
+        for key, col in left.items():
+            joined[key] = np.concatenate([col[left_idx], col[unmatched]])
+        for key, col in right.items():
+            if key not in joined:
+                joined[key] = _null_extend(col[right_idx], len(unmatched))
+    else:
+        raise ExecutionError(f"unknown join type {plan.join_type!r}")
     out_rows = frame_length(joined)
     ctx.metrics.rows_joined += out_rows
     ctx.metrics.cost_units += ctx.cost_model.hash_join(
         min(n_left, n_right), max(n_left, n_right), out_rows, len(plan.residual)
     )
     return _restrict(joined, plan.outputs)
+
+
+def _null_extend(values: np.ndarray, pad: int) -> np.ndarray:
+    """Append ``pad`` NULL entries: NaN for numeric columns (widening to
+    float64), None for object (string) columns."""
+    if values.dtype == np.object_:
+        return np.concatenate([values, np.full(pad, None, dtype=object)])
+    return np.concatenate(
+        [
+            values.astype(np.float64, copy=False),
+            np.full(pad, np.nan, dtype=np.float64),
+        ]
+    )
 
 
 def _joint_codes(cols: List[np.ndarray]) -> np.ndarray:
@@ -322,10 +370,20 @@ def _aggregate_column(
     if compute.arg is None:
         raise ExecutionError(f"aggregate {compute!r} requires an argument")
     values = evaluate(compute.arg, frame)
+    # NULLs (NaN, from outer-join null extension) are skipped per SQL
+    # aggregate semantics. NULL-free inputs take the original fast path.
+    nulls: Optional[np.ndarray] = None
+    if np.issubdtype(values.dtype, np.floating):
+        isnan = np.isnan(values)
+        if isnan.any():
+            nulls = isnan
     if func is AggFunc.SUM:
         if n == 0:
             return np.zeros(count, dtype=np.float64)
-        sums = np.bincount(gids, weights=values.astype(np.float64), minlength=count)
+        weights = values.astype(np.float64)
+        if nulls is not None:
+            weights = np.where(nulls, 0.0, weights)
+        sums = np.bincount(gids, weights=weights, minlength=count)
         if compute.out.data_type is DataType.INT:
             return sums.astype(np.int64)
         return sums
@@ -333,16 +391,36 @@ def _aggregate_column(
         fill = np.inf if func is AggFunc.MIN else -np.inf
         result = np.full(count, fill, dtype=np.float64)
         operation = np.minimum if func is AggFunc.MIN else np.maximum
-        operation.at(result, gids, values.astype(np.float64))
-        if compute.out.data_type is DataType.INT:
+        if nulls is None:
+            operation.at(result, gids, values.astype(np.float64))
+            if compute.out.data_type is DataType.INT:
+                return result.astype(np.int64)
+            return result
+        live = ~nulls
+        operation.at(result, gids[live], values.astype(np.float64)[live])
+        seen = np.zeros(count, dtype=bool)
+        seen[gids[live]] = True
+        result[~seen] = np.nan  # all-NULL group aggregates to NULL
+        if compute.out.data_type is DataType.INT and bool(seen.all()):
             return result.astype(np.int64)
         return result
     if func is AggFunc.AVG:
         if n == 0:
             return np.zeros(count, dtype=np.float64)
-        sums = np.bincount(gids, weights=values.astype(np.float64), minlength=count)
-        counts = np.bincount(gids, minlength=count)
-        return sums / np.maximum(counts, 1)
+        if nulls is None:
+            sums = np.bincount(
+                gids, weights=values.astype(np.float64), minlength=count
+            )
+            counts = np.bincount(gids, minlength=count)
+            return sums / np.maximum(counts, 1)
+        live = ~nulls
+        sums = np.bincount(
+            gids[live], weights=values.astype(np.float64)[live], minlength=count
+        )
+        counts = np.bincount(gids[live], minlength=count)
+        result = sums / np.maximum(counts, 1)
+        result[counts == 0] = np.nan
+        return result
     raise ExecutionError(f"unsupported aggregate function {func!r}")
 
 

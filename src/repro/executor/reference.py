@@ -49,16 +49,37 @@ def _eval_scalar(expr: Expr, row: Row, aggs: Optional[Dict[AggExpr, Any]] = None
     if isinstance(expr, Comparison):
         left = _eval_scalar(expr.left, row, aggs, scalars)
         right = _eval_scalar(expr.right, row, aggs, scalars)
+        if left is None or right is None:
+            return None  # SQL: comparison with NULL is NULL
         return _compare(expr.op, left, right)
     if isinstance(expr, And):
-        return all(_eval_scalar(t, row, aggs, scalars) for t in expr.terms)
+        # Kleene AND: FALSE dominates, then NULL, then TRUE.
+        saw_null = False
+        for t in expr.terms:
+            value = _eval_scalar(t, row, aggs, scalars)
+            if value is None:
+                saw_null = True
+            elif not value:
+                return False
+        return None if saw_null else True
     if isinstance(expr, Or):
-        return any(_eval_scalar(t, row, aggs, scalars) for t in expr.terms)
+        # Kleene OR: TRUE dominates, then NULL, then FALSE.
+        saw_null = False
+        for t in expr.terms:
+            value = _eval_scalar(t, row, aggs, scalars)
+            if value is None:
+                saw_null = True
+            elif value:
+                return True
+        return None if saw_null else False
     if isinstance(expr, Not):
-        return not _eval_scalar(expr.term, row, aggs, scalars)
+        value = _eval_scalar(expr.term, row, aggs, scalars)
+        return None if value is None else (not value)
     if isinstance(expr, Arithmetic):
         left = _eval_scalar(expr.left, row, aggs, scalars)
         right = _eval_scalar(expr.right, row, aggs, scalars)
+        if left is None or right is None:
+            return None
         if expr.op is ArithmeticOp.ADD:
             return left + right
         if expr.op is ArithmeticOp.SUB:
@@ -71,18 +92,20 @@ def _eval_scalar(expr: Expr, row: Row, aggs: Optional[Dict[AggExpr, Any]] = None
 
 
 def _compare(op: ComparisonOp, left: Any, right: Any) -> bool:
+    # bool(): column values are numpy scalars, and the Kleene filter paths
+    # distinguish True from NULL with `is True` — np.True_ is not True.
     if op is ComparisonOp.EQ:
-        return left == right
+        return bool(left == right)
     if op is ComparisonOp.NE:
-        return left != right
+        return bool(left != right)
     if op is ComparisonOp.LT:
-        return left < right
+        return bool(left < right)
     if op is ComparisonOp.LE:
-        return left <= right
+        return bool(left <= right)
     if op is ComparisonOp.GT:
-        return left > right
+        return bool(left > right)
     if op is ComparisonOp.GE:
-        return left >= right
+        return bool(left >= right)
     raise ExecutionError(f"unknown comparison {op!r}")
 
 
@@ -177,19 +200,27 @@ def _join_all(database: Database, block: QueryBlock) -> List[Row]:
 
 
 def _aggregate(block: QueryBlock, rows: List[Row]) -> List[Tuple[Row, Dict[AggExpr, Any]]]:
+    return _aggregate_rows(block.group_keys, block.aggregates, rows)
+
+
+def _aggregate_rows(
+    group_keys: Sequence[ColumnRef],
+    aggregates: Sequence[AggExpr],
+    rows: List[Row],
+) -> List[Tuple[Row, Dict[AggExpr, Any]]]:
     groups: Dict[tuple, List[Row]] = {}
     for row in rows:
-        key = tuple(row[k] for k in block.group_keys)
+        key = tuple(row[k] for k in group_keys)
         groups.setdefault(key, []).append(row)
-    if not block.group_keys and not groups:
+    if not group_keys and not groups:
         groups[()] = []
     output: List[Tuple[Row, Dict[AggExpr, Any]]] = []
     for key, members in groups.items():
         key_row: Row = {
-            k: key[i] for i, k in enumerate(block.group_keys)
+            k: key[i] for i, k in enumerate(group_keys)
         }
         aggs: Dict[AggExpr, Any] = {}
-        for agg in block.aggregates:
+        for agg in aggregates:
             aggs[agg] = _compute_aggregate(agg, members)
         output.append((key_row, aggs))
     return output
@@ -199,7 +230,12 @@ def _compute_aggregate(agg: AggExpr, rows: List[Row]) -> Any:
     if agg.func is AggFunc.COUNT:
         return len(rows)
     assert agg.arg is not None
-    values = [_eval_scalar(agg.arg, row) for row in rows]
+    # NULL inputs (from outer-join null extension) are skipped, per SQL.
+    values = [
+        v
+        for v in (_eval_scalar(agg.arg, row) for row in rows)
+        if v is not None
+    ]
     if agg.func is AggFunc.SUM:
         return sum(values) if values else 0
     if agg.func is AggFunc.MIN:
@@ -245,6 +281,85 @@ def evaluate_block(
     return results
 
 
+def _evaluate_extended(
+    database: Database,
+    query: BoundQuery,
+    scalars: Optional[Dict[str, Any]],
+) -> List[Tuple[Any, ...]]:
+    """Evaluate a query with join extensions: core SPJ rows, then each
+    extension join in order (semi/anti filter the core rows; left_outer
+    multiplies matches and null-extends misses), then the post-join shape
+    under three-valued logic."""
+    post = query.post
+    assert post is not None
+    rows = _join_all(database, query.block)
+    for ext in query.extensions:
+        inner_rows = _join_all(database, ext.block)
+        index: Dict[tuple, List[Row]] = {}
+        for inner in inner_rows:
+            key = tuple(inner[icol] for _, icol in ext.keys)
+            index.setdefault(key, []).append(inner)
+        ext_cols = [out.expr for out in ext.block.output]
+        combined: List[Row] = []
+        for row in rows:
+            key = tuple(row[ccol] for ccol, _ in ext.keys)
+            matches = index.get(key, ())
+            if ext.kind == "semi":
+                if matches:
+                    combined.append(row)
+            elif ext.kind == "anti":
+                if not matches:
+                    combined.append(row)
+            elif ext.kind == "left_outer":
+                if matches:
+                    for match in matches:
+                        merged = dict(row)
+                        merged.update({c: match[c] for c in ext_cols})
+                        combined.append(merged)
+                else:
+                    merged = dict(row)
+                    merged.update({c: None for c in ext_cols})
+                    combined.append(merged)
+            else:
+                raise ExecutionError(f"unknown extension kind {ext.kind!r}")
+        rows = combined
+    for predicate in post.filters:
+        rows = [
+            r
+            for r in rows
+            if _eval_scalar(predicate, r, None, scalars) is True
+        ]
+    if post.has_groupby:
+        grouped = _aggregate_rows(post.group_keys, post.aggregates, rows)
+        results: List[Tuple[Any, ...]] = []
+        for key_row, aggs in grouped:
+            if post.having and not all(
+                _eval_scalar(h, key_row, aggs, scalars) is True
+                for h in post.having
+            ):
+                continue
+            results.append(
+                tuple(
+                    _eval_scalar(out.expr, key_row, aggs, scalars)
+                    for out in post.output
+                )
+            )
+        return results
+    results = []
+    for row in rows:
+        if post.having and not all(
+            _eval_scalar(h, row, None, scalars) is True for h in post.having
+        ):
+            continue
+        results.append(
+            tuple(
+                _eval_scalar(out.expr, row, None, scalars)
+                for out in post.output
+            )
+        )
+    return results
+
+
 def evaluate_query(
     database: Database, query: BoundQuery
 ) -> List[Tuple[Any, ...]]:
@@ -255,15 +370,17 @@ def evaluate_query(
         if len(rows) != 1 or len(rows[0]) != 1:
             raise ExecutionError(f"subquery {sid!r} is not scalar")
         scalars[sid] = rows[0][0]
-    rows = evaluate_block(database, query.block, scalars)
+    if query.extensions:
+        rows = _evaluate_extended(database, query, scalars)
+    else:
+        rows = evaluate_block(database, query.block, scalars)
+    output_shape = query.post.output if query.post else query.block.output
     if query.order_by:
-        named = {out.name: i for i, out in enumerate(query.block.output)}
-
         def sort_key(row: Tuple[Any, ...]):
             parts = []
             for expr, descending in query.order_by:
                 index = None
-                for i, out in enumerate(query.block.output):
+                for i, out in enumerate(output_shape):
                     if out.expr == expr:
                         index = i
                         break

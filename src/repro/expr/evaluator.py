@@ -110,13 +110,122 @@ def _evaluate_arithmetic(expr: Arithmetic, frame: Frame) -> np.ndarray:
 
 
 def evaluate_predicate(predicate: Optional[Expr], frame: Frame) -> np.ndarray:
-    """Evaluate a (possibly absent) predicate to a boolean mask."""
+    """Evaluate a (possibly absent) predicate to a boolean mask.
+
+    SQL three-valued logic: a row passes only when the predicate is TRUE.
+    NULLs (NaN in float columns, None in object columns) appear only
+    downstream of outer joins; frames without NULLs take the original
+    two-valued fast path unchanged.
+    """
     n = frame_length(frame)
     if predicate is None:
         return np.ones(n, dtype=bool)
-    mask = evaluate(predicate, frame)
-    if mask.dtype != np.bool_:
+    true_mask, _ = evaluate3(predicate, frame)
+    if true_mask.dtype != np.bool_:
         if predicate.data_type is not DataType.BOOL:
             raise ExecutionError(f"predicate {predicate!r} is not boolean")
-        mask = mask.astype(bool)
-    return mask
+        true_mask = true_mask.astype(bool)
+    return true_mask
+
+
+# ---------------------------------------------------------------------------
+# Kleene three-valued evaluation (NULL-bearing frames)
+# ---------------------------------------------------------------------------
+
+
+def null_mask(values: np.ndarray) -> Optional[np.ndarray]:
+    """Boolean mask of NULL entries, or None when the column has none.
+
+    Numeric NULLs are NaN (outer-join null extension casts to float64);
+    string NULLs are None entries in object arrays.
+    """
+    if values.dtype == np.object_:
+        mask = np.asarray(values == None, dtype=bool)  # noqa: E711
+        return mask if mask.any() else None
+    if np.issubdtype(values.dtype, np.floating):
+        mask = np.isnan(values)
+        return mask if mask.any() else None
+    return None
+
+
+def evaluate3(expr: Expr, frame: Frame) -> "tuple[np.ndarray, Optional[np.ndarray]]":
+    """Evaluate a boolean expression under Kleene logic.
+
+    Returns ``(true_mask, null_mask)`` where ``null_mask`` is None when no
+    row evaluates to NULL (the common, NULL-free case — zero overhead
+    beyond the plain evaluator)."""
+    if expr in frame:
+        values = frame[expr]
+        return (
+            values if values.dtype == np.bool_ else values.astype(bool)
+        ), None
+    if isinstance(expr, Comparison):
+        left = evaluate(expr.left, frame)
+        right = evaluate(expr.right, frame)
+        nulls = _combine_nulls(null_mask(left), null_mask(right))
+        if nulls is not None and left.dtype == np.object_:
+            left = np.where(nulls, "", left)
+        if nulls is not None and right.dtype == np.object_:
+            right = np.where(nulls, "", right)
+        raw = _raw_comparison(expr.op, left, right)
+        if nulls is None:
+            return raw, None
+        return raw & ~nulls, nulls
+    if isinstance(expr, And):
+        true = None
+        false = None
+        for term in expr.terms:
+            t, n = evaluate3(term, frame)
+            f = ~t if n is None else ~t & ~n
+            true = t if true is None else true & t
+            false = f if false is None else false | f
+        assert true is not None and false is not None
+        nulls = ~true & ~false
+        return true, nulls if nulls.any() else None
+    if isinstance(expr, Or):
+        true = None
+        false = None
+        for term in expr.terms:
+            t, n = evaluate3(term, frame)
+            f = ~t if n is None else ~t & ~n
+            true = t if true is None else true | t
+            false = f if false is None else false & f
+        assert true is not None and false is not None
+        nulls = ~true & ~false
+        return true, nulls if nulls.any() else None
+    if isinstance(expr, Not):
+        t, n = evaluate3(expr.term, frame)
+        if n is None:
+            return ~t.astype(bool), None
+        return ~t & ~n, n
+    # Anything else (literals, frame-resident boolean columns).
+    values = evaluate(expr, frame)
+    return values.astype(bool) if values.dtype != np.bool_ else values, None
+
+
+def _combine_nulls(
+    a: Optional[np.ndarray], b: Optional[np.ndarray]
+) -> Optional[np.ndarray]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a | b
+
+
+def _raw_comparison(
+    op: ComparisonOp, left: np.ndarray, right: np.ndarray
+) -> np.ndarray:
+    if op is ComparisonOp.EQ:
+        return left == right
+    if op is ComparisonOp.NE:
+        return left != right
+    if op is ComparisonOp.LT:
+        return left < right
+    if op is ComparisonOp.LE:
+        return left <= right
+    if op is ComparisonOp.GT:
+        return left > right
+    if op is ComparisonOp.GE:
+        return left >= right
+    raise ExecutionError(f"unknown comparison operator {op!r}")

@@ -134,6 +134,47 @@ class QueryBlock:
         return [o.name for o in self.output]
 
 
+@dataclass(frozen=True)
+class JoinExtension:
+    """A non-inner join hanging off a query's core SPJ block.
+
+    ``kind`` is one of ``"left_outer"``, ``"semi"``, ``"anti"``. The
+    extension's own :class:`QueryBlock` (``block``) is a plain SPJ block —
+    it participates in CSE detection and matching like any other block —
+    and ``keys`` are the ``(core column, extension column)`` equality pairs
+    that tie it to the core. Semi/anti extensions come from decorrelated
+    EXISTS / IN subqueries; left_outer ones from LEFT OUTER JOIN clauses
+    the normalizer could not prove reducible to inner joins.
+    """
+
+    ext_id: str
+    kind: str
+    block: QueryBlock
+    keys: Tuple[Tuple[ColumnRef, ColumnRef], ...]
+
+
+@dataclass(frozen=True)
+class QueryShape:
+    """The post-extension shape of an extended query.
+
+    When a query carries :class:`JoinExtension` s, its core block is SPJ
+    only and grouping/HAVING/projection apply *above* the extension joins
+    (SQL semantics). ``filters`` are WHERE conjuncts that reference
+    null-extended columns and therefore must run, under three-valued
+    logic, after the outer join.
+    """
+
+    group_keys: Tuple[ColumnRef, ...]
+    aggregates: Tuple[AggExpr, ...]
+    having: Tuple[Expr, ...]
+    output: Tuple[OutputColumn, ...]
+    filters: Tuple[Expr, ...] = ()
+
+    @property
+    def has_groupby(self) -> bool:
+        return bool(self.group_keys) or bool(self.aggregates)
+
+
 @dataclass
 class BoundQuery:
     """A bound top-level query: its block, subquery blocks, and ORDER BY."""
@@ -142,9 +183,15 @@ class BoundQuery:
     block: QueryBlock
     subqueries: Dict[str, QueryBlock] = field(default_factory=dict)
     order_by: Tuple[Tuple[Expr, bool], ...] = ()  # (expr, descending)
+    extensions: Tuple[JoinExtension, ...] = ()
+    post: Optional[QueryShape] = None
 
     def all_blocks(self) -> List[QueryBlock]:
-        return [self.block] + list(self.subqueries.values())
+        return (
+            [self.block]
+            + list(self.subqueries.values())
+            + [e.block for e in self.extensions]
+        )
 
 
 @dataclass

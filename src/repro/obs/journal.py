@@ -40,6 +40,11 @@ kind                      meaning / key fields
                           ``write_cost``, ``read_cost``, ``lca_gid``,
                           ``lifted_to_root``
 ``single_consumer``       §5.1 LCA discard tally: ``cse_id``, ``discards``
+``equiv``                 bag-semantics equivalence checker verdict
+                          (``repro.equiv``): ``outcome`` (``proved`` /
+                          ``refuted`` / ``gave_up``), ``reason``, plus either
+                          ``query``+``extension`` (outer-join reduction) or
+                          ``cse_id``+``consumer`` (consumer-match gate)
 ``history``               §5.4 per-pass reuse accounting: ``pass_index``,
                           ``subset``, ``groups_reused``,
                           ``groups_recomputed``, ``planset_hits``,
@@ -161,6 +166,19 @@ class DecisionJournal:
             lines.append("candidate generation:")
             lines.extend(stage_lines)
 
+        equiv_lines = []
+        for entry in self.events("equiv"):
+            if entry.get("cse_id") is not None:
+                continue  # consumer-match checks render under their candidate
+            equiv_lines.append(
+                f"  {entry.get('query')}/{entry.get('extension')} "
+                f"outer-join reduction: {entry.get('outcome')} — "
+                f"{entry.get('reason')}"
+            )
+        if equiv_lines:
+            lines.append("equivalence checker (outer-join simplification):")
+            lines.extend(equiv_lines)
+
         history = self.events("history")
         if history:
             lines.append("optimization-history reuse (§5.4):")
@@ -194,6 +212,8 @@ class DecisionJournal:
             headline = (
                 "KEPT" if kept else f"REJECTED ({verdict.get('reason', '?')})"
             )
+            if verdict.get("equiv"):
+                headline += f" [equivalence checker: {verdict['equiv']}]"
             lines.append(f"candidate {cse_id}: {headline}")
             for entry in self.for_candidate(cse_id):
                 rendered = self._render_event(cse_id, entry)
@@ -240,6 +260,11 @@ class DecisionJournal:
             return (
                 f"§5.1 LCA rule: single-consumer plans discarded "
                 f"{entry.get('discards')}× during enumeration"
+            )
+        if kind == "equiv":
+            return (
+                f"equivalence check for consumer {entry.get('consumer')}: "
+                f"{entry.get('outcome')} — {entry.get('reason')}"
             )
         if kind == "verdict":
             return None  # already in the headline

@@ -36,7 +36,8 @@ from ..cse.manager import CseManager
 from ..cse.matching import ConsumerSpec, build_consumer_specs, try_match_consumer
 from ..errors import OptimizerError, OptimizerTimeoutError
 from ..expr.expressions import ColumnRef, Comparison, ComparisonOp, Expr, Literal
-from ..logical.blocks import BoundBatch, BoundQuery
+from ..logical.blocks import BoundBatch, BoundQuery, JoinExtension
+from ..logical.simplify import simplify_query
 from ..obs import (
     NULL_JOURNAL,
     NULL_REGISTRY,
@@ -104,6 +105,15 @@ def _profile_merge(left: Profile, right: Profile) -> Profile:
     for cid, count in right:
         merged[cid] = min(2, merged.get(cid, 0) + count)
     return tuple(sorted(merged.items()))
+
+
+def _ext_join_rows(kind: str, core_rows: float) -> float:
+    """Cardinality of an extension join. The core side is preserved:
+    left_outer emits every core row at least once, semi/anti partition the
+    core rows (estimated half each)."""
+    if kind == "left_outer":
+        return max(core_rows, 1.0)
+    return max(core_rows * 0.5, 1.0)
 
 
 def _profile_support(profile: Profile) -> FrozenSet[str]:
@@ -404,16 +414,47 @@ class Optimizer:
             self._pass_index = 0
             self._begin_pass(0)
             self._tops: List[Tuple[str, object, Group]] = []
+            #: per query name: (extension, its top group) pairs for the
+            #: extensions that survived logical simplification.
+            self._ext_tops: Dict[str, List[Tuple[JoinExtension, Group]]] = {}
 
+            # Logical simplification: fold provably-reducible outer joins
+            # into their core blocks (the equivalence checker's verdicts go
+            # to the decision journal either way).
+            queries: List[BoundQuery] = []
             for query in batch.queries:
+                simplified, verdicts = simplify_query(query)
+                for ext_id, verdict in verdicts:
+                    self.journal.event(
+                        "equiv",
+                        query=query.name,
+                        extension=ext_id,
+                        outcome=verdict.outcome,
+                        reason=verdict.reason,
+                    )
+                queries.append(simplified)
+
+            root_children: List[Group] = []
+            for query in queries:
                 top = memo.build_block(query.block, part_id=query.name)
                 self._tops.append(("query", query, top))
+                root_children.append(top)
+                ext_entries: List[Tuple[JoinExtension, Group]] = []
+                for ext in query.extensions:
+                    ext_top = memo.build_block(
+                        ext.block, part_id=f"{query.name}:{ext.ext_id}"
+                    )
+                    ext_entries.append((ext, ext_top))
+                    root_children.append(ext_top)
+                if ext_entries:
+                    self._ext_tops[query.name] = ext_entries
                 for sid, sub_block in sorted(query.subqueries.items()):
                     sub_top = memo.build_block(
                         sub_block, part_id=f"{query.name}:{sid}"
                     )
                     self._tops.append(("subquery", (query, sid), sub_top))
-            root = memo.build_root([top for _, _, top in self._tops])
+                    root_children.append(sub_top)
+            root = memo.build_root(root_children)
             self._root = root
 
             manager = CseManager()
@@ -537,6 +578,14 @@ class Optimizer:
         if not journal.enabled:
             return
         used = set(stats.used_cses)
+        equiv_tallies: Dict[str, Dict[str, int]] = {}
+        for entry in journal.events("equiv"):
+            cid = entry.get("cse_id")
+            if cid is None:
+                continue
+            tally = equiv_tallies.setdefault(cid, {})
+            outcome = entry.get("outcome", "?")
+            tally[outcome] = tally.get(outcome, 0) + 1
         for candidate in candidates:
             cid = candidate.cse_id
             discards = self._sc_discards.get(cid, 0)
@@ -544,12 +593,21 @@ class Optimizer:
                 journal.event(
                     "single_consumer", cse_id=cid, discards=discards
                 )
+            # The equivalence checker's outcomes over this candidate's
+            # attempted consumer matches, e.g. "proved=2, gave_up=1" —
+            # lets `explain --why` say a match was *refused*, not merely
+            # unprofitable.
+            equiv = ", ".join(
+                f"{outcome}={count}"
+                for outcome, count in sorted(equiv_tallies.get(cid, {}).items())
+            )
             if cid in used:
                 journal.event(
                     "verdict",
                     cse_id=cid,
                     kept=True,
                     reason="materialized in best plan",
+                    equiv=equiv,
                 )
             elif discards:
                 journal.event(
@@ -557,6 +615,7 @@ class Optimizer:
                     cse_id=cid,
                     kept=False,
                     reason="single-consumer LCA discard (§5.1)",
+                    equiv=equiv,
                 )
             else:
                 journal.event(
@@ -567,6 +626,7 @@ class Optimizer:
                         "sharing never beat recomputation in any "
                         "enumerated subset"
                     ),
+                    equiv=equiv,
                 )
 
     # ------------------------------------------------------------------
@@ -1124,24 +1184,131 @@ class Optimizer:
         the query block and the top's plan set, and the relevant-ids key
         pins the latter down — so the result is reusable across Step-3
         passes. Hoisting it here also removes the finalize work from the
-        |combined| × |child plan set| fold loop of :meth:`_assemble`."""
+        |combined| × |child plan set| fold loop of :meth:`_assemble`.
+
+        Extended queries (surviving outer/semi/anti extensions) fold their
+        extension tops' plan sets into the core's here, so the relevant-ids
+        key is the union over the core and every extension top."""
+        ext_entries: Sequence[Tuple[JoinExtension, Group]] = ()
+        if tag == "query" and payload.extensions:
+            ext_entries = self._ext_tops[payload.name]
         relevant = self._relevant_ids(top, ctx)
+        for _ext, ext_top in ext_entries:
+            relevant = relevant | self._relevant_ids(ext_top, ctx)
         key = (idx, relevant)
         cached = self._finalize_cache.get(key)
         if cached is not None:
             return relevant, cached
-        child_set = self._optimize_group(top, ctx)
-        finalized: Dict[Profile, Tuple[float, PhysicalPlan]] = {}
-        for profile, choice in child_set.items():
-            if tag == "query":
-                cost, plan = self._finalize_query(payload, top, choice)
-            else:
-                query, sid = payload
-                sub_block = query.subqueries[sid]
-                cost, plan = self._finalize_subquery(top, sub_block, choice)
-            finalized[profile] = (cost, plan)
+        if ext_entries:
+            finalized = self._finalize_extended_query(
+                payload, top, ext_entries, ctx
+            )
+        else:
+            child_set = self._optimize_group(top, ctx)
+            finalized = {}
+            for profile, choice in child_set.items():
+                if tag == "query":
+                    cost, plan = self._finalize_query(payload, top, choice)
+                else:
+                    query, sid = payload
+                    sub_block = query.subqueries[sid]
+                    cost, plan = self._finalize_subquery(top, sub_block, choice)
+                finalized[profile] = (cost, plan)
         self._finalize_cache[key] = finalized
         return relevant, finalized
+
+    def _finalize_extended_query(
+        self,
+        query: BoundQuery,
+        top: Group,
+        ext_entries: Sequence[Tuple[JoinExtension, Group]],
+        ctx: _PassContext,
+    ) -> Dict[Profile, Tuple[float, PhysicalPlan]]:
+        """Plan set for a query with surviving join extensions.
+
+        The core and each extension block were optimized as independent
+        groups (each can read spools on its own); here their plan sets are
+        cross-merged profile-wise, the extension joins stitched on top of
+        the core in binder order, and the post-join shape (3VL filters,
+        aggregation, HAVING, projection, ORDER BY) applied above."""
+        from .aggs import direct_computes
+
+        core_set = self._optimize_group(top, ctx)
+        combined: Dict[Profile, Tuple[float, PhysicalPlan, float]] = {
+            profile: (choice.cost, choice.plan, top.est_rows)
+            for profile, choice in core_set.items()
+        }
+        # Columns flowing up the stitched join chain: the core's outputs
+        # plus every preceding left_outer extension's (null-extended)
+        # outputs. Semi/anti joins pass the running set through unchanged.
+        running_outputs = tuple(top.required_outputs)
+        for ext, ext_top in ext_entries:
+            outputs = running_outputs
+            if ext.kind == "left_outer":
+                outputs = outputs + tuple(ext_top.required_outputs)
+            ext_set = self._optimize_group(ext_top, ctx)
+            folded: Dict[Profile, Tuple[float, PhysicalPlan, float]] = {}
+            for profile0, (cost0, plan0, rows0) in combined.items():
+                for profile1, choice in ext_set.items():
+                    profile = _profile_merge(profile0, profile1)
+                    out_rows = _ext_join_rows(ext.kind, rows0)
+                    cost = cost0 + choice.cost + self.cost_model.hash_join(
+                        min(rows0, ext_top.est_rows),
+                        max(rows0, ext_top.est_rows),
+                        out_rows,
+                        0,
+                    )
+                    plan = PhysHashJoin(
+                        left=plan0,
+                        right=choice.plan,
+                        keys=tuple(ext.keys),
+                        residual=(),
+                        outputs=outputs,
+                        est_rows=out_rows,
+                        join_type=ext.kind,
+                    )
+                    entry = folded.get(profile)
+                    if entry is None or cost < entry[0]:
+                        folded[profile] = (cost, plan, out_rows)
+            combined = folded
+            running_outputs = outputs
+
+        post = query.post
+        assert post is not None
+        finalized: Dict[Profile, Tuple[float, PhysicalPlan]] = {}
+        for profile, (cost, plan, rows) in combined.items():
+            if post.filters:
+                cost += self.cost_model.filter(rows, len(post.filters))
+                selectivity = 1.0
+                for conjunct in post.filters:
+                    selectivity *= self.estimator.selectivity(conjunct)
+                rows = max(rows * selectivity, 1.0)
+                plan = PhysFilter(plan, tuple(post.filters), est_rows=rows)
+            if post.has_groupby:
+                computes = direct_computes(post.aggregates)
+                groups = self.estimator.group_rows(rows, post.group_keys)
+                cost += self.cost_model.aggregate(rows, groups, len(computes))
+                plan = PhysHashAgg(
+                    child=plan,
+                    keys=tuple(post.group_keys),
+                    computes=computes,
+                    est_rows=groups,
+                )
+                rows = groups
+            if post.having:
+                cost += self.cost_model.filter(rows, len(post.having))
+                selectivity = 1.0
+                for conjunct in post.having:
+                    selectivity *= self.estimator.selectivity(conjunct)
+                rows = max(rows * selectivity, 1.0)
+                plan = PhysFilter(plan, tuple(post.having), est_rows=rows)
+            cost += self.cost_model.project(rows, len(post.output))
+            plan = PhysProject(plan, post.output, est_rows=rows)
+            if query.order_by:
+                cost += self.cost_model.sort(rows)
+                plan = PhysSort(plan, tuple(query.order_by), est_rows=rows)
+            finalized[profile] = (cost, plan)
+        return finalized
 
     def _assemble(self, ctx: _PassContext) -> Tuple[float, PlanBundle]:
         """Optimize all tops under ``ctx`` and settle root-level CSEs."""
@@ -1455,10 +1622,11 @@ class Optimizer:
         for (tag, payload, _top), plan in zip(self._tops, plans):
             if tag == "query":
                 query = payload
+                shape = query.post.output if query.post else query.block.output
                 qplan = QueryPlan(
                     name=query.name,
                     plan=plan,
-                    output_names=[o.name for o in query.block.output],
+                    output_names=[o.name for o in shape],
                 )
                 queries.append(qplan)
                 by_query[query.name] = qplan

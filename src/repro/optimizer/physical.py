@@ -96,7 +96,13 @@ class PhysIndexScan(PhysicalPlan):
 
 @dataclass
 class PhysHashJoin(PhysicalPlan):
-    """Hash join; with no keys it degrades to a (filtered) cross product."""
+    """Hash join; with no keys it degrades to a (filtered) cross product.
+
+    ``join_type`` is ``"inner"`` (default), ``"left_outer"``, ``"semi"``,
+    or ``"anti"``. Non-inner joins preserve the left (probe) side: semi
+    keeps left rows with a match, anti those without, left_outer keeps all
+    left rows and null-extends the right columns of unmatched ones.
+    """
 
     left: PhysicalPlan
     right: PhysicalPlan
@@ -104,13 +110,21 @@ class PhysHashJoin(PhysicalPlan):
     residual: Tuple[Expr, ...]
     outputs: Tuple[Expr, ...]
     est_rows: float = 0.0
+    join_type: str = "inner"
 
     def children(self) -> Tuple[PhysicalPlan, ...]:
         return (self.left, self.right)
 
     def _describe_line(self) -> str:
         keys = ", ".join(f"{l!r}={r!r}" for l, r in self.keys)
-        kind = "HashJoin" if self.keys else "CrossJoin"
+        if self.join_type == "inner":
+            kind = "HashJoin" if self.keys else "CrossJoin"
+        else:
+            kind = {
+                "left_outer": "LeftOuterHashJoin",
+                "semi": "SemiHashJoin",
+                "anti": "AntiHashJoin",
+            }[self.join_type]
         return f"{kind} on [{keys}] (~{self.est_rows:.0f} rows)"
 
 

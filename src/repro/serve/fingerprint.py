@@ -52,6 +52,22 @@ def _block_text(block: QueryBlock, canon: _Canon) -> str:
 
 def _render_query(query: BoundQuery, canon: _Canon) -> str:
     parts = [f"query {query.name}", _block_text(query.block, canon)]
+    for ext in query.extensions:
+        keys = " ".join(
+            f"{canon(repr(a))}={canon(repr(b))}" for a, b in ext.keys
+        )
+        parts.append(f"extension {ext.ext_id} {ext.kind} keys {keys}")
+        parts.append(_block_text(ext.block, canon))
+    if query.post is not None:
+        post = query.post
+        parts.append(
+            "post"
+            + "\nfilters " + " & ".join(sorted(canon(repr(c)) for c in post.filters))
+            + "\ngroup " + " ".join(canon(repr(k)) for k in post.group_keys)
+            + "\naggs " + " ".join(sorted(canon(repr(a)) for a in post.aggregates))
+            + "\nhaving " + " & ".join(sorted(canon(repr(c)) for c in post.having))
+            + "\noutput " + " ".join(canon(repr(o)) for o in post.output)
+        )
     for sid in sorted(query.subqueries):
         parts.append(f"subquery {sid}")
         parts.append(_block_text(query.subqueries[sid], canon))

@@ -220,7 +220,16 @@ class CancellationToken:
             self._spool_rows += rows
             self._spool_bytes += size_bytes
             message = None
-            if (
+            # A zero row budget forbids materialization outright — even an
+            # empty spool (a consumer whose predicate selects no rows) must
+            # degrade to the no-sharing baseline, or the `> 0` comparison
+            # below would admit it.
+            if budget.max_spool_rows == 0:
+                message = (
+                    "spool budget exceeded: spool materialized with "
+                    "max_spool_rows=0"
+                )
+            elif (
                 budget.max_spool_rows is not None
                 and self._spool_rows > budget.max_spool_rows
             ):

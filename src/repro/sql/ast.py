@@ -77,6 +77,23 @@ class SqlSubquery(SqlExpr):
 
 
 @dataclass
+class SqlExists(SqlExpr):
+    """``[NOT] EXISTS (select ...)`` predicate."""
+
+    select: "SelectStatement"
+    negated: bool = False
+
+
+@dataclass
+class SqlInSubquery(SqlExpr):
+    """``subject [NOT] IN (select ...)`` predicate."""
+
+    subject: SqlExpr
+    select: "SelectStatement"
+    negated: bool = False
+
+
+@dataclass
 class SelectItem:
     expr: SqlExpr
     alias: Optional[str] = None
@@ -86,6 +103,19 @@ class SelectItem:
 class TableItem:
     name: str
     alias: Optional[str] = None
+
+
+@dataclass
+class SqlJoin:
+    """An explicit join clause: ``kind JOIN table ON condition``.
+
+    ``kind`` is one of ``"inner"``, ``"left"``, ``"right"``. Joins apply
+    left-to-right to the accumulated FROM product.
+    """
+
+    kind: str
+    table: TableItem
+    on: SqlExpr
 
 
 @dataclass
@@ -104,6 +134,7 @@ class CommonTableExpr:
 class SelectStatement:
     select_items: List[SelectItem]
     from_items: List[TableItem]
+    joins: List[SqlJoin] = field(default_factory=list)
     where: Optional[SqlExpr] = None
     group_by: List[SqlExpr] = field(default_factory=list)
     having: Optional[SqlExpr] = None

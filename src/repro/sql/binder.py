@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..catalog.schema import Catalog
 from ..errors import BindError, StorageError, UnsupportedFeatureError
@@ -35,8 +35,10 @@ from ..expr.predicates import split_conjuncts
 from ..logical.blocks import (
     BoundBatch,
     BoundQuery,
+    JoinExtension,
     OutputColumn,
     QueryBlock,
+    QueryShape,
     ScalarSubquery,
 )
 from ..types import DataType, comparable, date_to_int
@@ -83,6 +85,9 @@ class _Scope:
 
     tables: List[Tuple[str, TableRef]] = field(default_factory=list)
     ctes: List[Tuple[str, _CteExpansion]] = field(default_factory=list)
+    #: tables on the null-extended side of a LEFT/RIGHT OUTER JOIN; their
+    #: columns are nullable and several constructs are gated on that.
+    nullable: Set[TableRef] = field(default_factory=set)
 
     def all_tables(self) -> List[TableRef]:
         result = [t for _, t in self.tables]
@@ -95,6 +100,104 @@ class _Scope:
         for _, expansion in self.ctes:
             result.extend(expansion.conjuncts)
         return result
+
+
+def _split_where_ast(
+    where: Optional[sql_ast.SqlExpr],
+) -> Tuple[Optional[sql_ast.SqlExpr], List[Tuple[str, sql_ast.SqlExpr]]]:
+    """Separate top-level EXISTS / IN-subquery conjuncts from the rest of a
+    WHERE AST. Returns (remaining predicate, [(semi|anti, node), ...])."""
+    if where is None:
+        return None, []
+    conjuncts: List[sql_ast.SqlExpr] = []
+
+    def walk(node: sql_ast.SqlExpr) -> None:
+        if isinstance(node, sql_ast.SqlBinary) and node.op == "AND":
+            walk(node.left)
+            walk(node.right)
+        else:
+            conjuncts.append(node)
+
+    walk(where)
+    rest: List[sql_ast.SqlExpr] = []
+    subpredicates: List[Tuple[str, sql_ast.SqlExpr]] = []
+    for conjunct in conjuncts:
+        node = conjunct
+        negated = False
+        if isinstance(node, sql_ast.SqlNot) and isinstance(
+            node.term, (sql_ast.SqlExists, sql_ast.SqlInSubquery)
+        ):
+            negated = True
+            node = node.term
+        if isinstance(node, (sql_ast.SqlExists, sql_ast.SqlInSubquery)):
+            if node.negated:
+                negated = not negated
+            subpredicates.append(("anti" if negated else "semi", node))
+        else:
+            rest.append(conjunct)
+    remaining: Optional[sql_ast.SqlExpr] = None
+    for conjunct in rest:
+        remaining = (
+            conjunct
+            if remaining is None
+            else sql_ast.SqlBinary("AND", remaining, conjunct)
+        )
+    return remaining, subpredicates
+
+
+def _named_columns(columns: Set[ColumnRef]) -> Tuple[OutputColumn, ...]:
+    """Deterministically named passthrough outputs for a column set."""
+    result: List[OutputColumn] = []
+    used: Dict[str, int] = {}
+    for col in sorted(columns, key=repr):
+        out_name = col.column
+        if out_name in used:
+            used[out_name] += 1
+            out_name = f"{out_name}_{used[col.column]}"
+        else:
+            used[out_name] = 0
+        result.append(OutputColumn(name=out_name, expr=col))
+    return tuple(result)
+
+
+def _equality_key(
+    conjunct: Expr, ext_ref: TableRef
+) -> Optional[Tuple[ColumnRef, ColumnRef]]:
+    """Decompose ``core_col = ext_col`` (either order) or return None."""
+    if not (
+        isinstance(conjunct, Comparison)
+        and conjunct.op is ComparisonOp.EQ
+        and isinstance(conjunct.left, ColumnRef)
+        and isinstance(conjunct.right, ColumnRef)
+    ):
+        return None
+    left, right = conjunct.left, conjunct.right
+    if left.table_ref == ext_ref and right.table_ref != ext_ref:
+        return right, left
+    if right.table_ref == ext_ref and left.table_ref != ext_ref:
+        return left, right
+    return None
+
+
+def _correlation_key(
+    conjunct: Expr, inner_tables: Set[TableRef]
+) -> Optional[Tuple[ColumnRef, ColumnRef]]:
+    """Decompose ``outer_col = inner_col`` (either order) or return None."""
+    if not (
+        isinstance(conjunct, Comparison)
+        and conjunct.op is ComparisonOp.EQ
+        and isinstance(conjunct.left, ColumnRef)
+        and isinstance(conjunct.right, ColumnRef)
+    ):
+        return None
+    left, right = conjunct.left, conjunct.right
+    left_inner = left.table_ref in inner_tables
+    right_inner = right.table_ref in inner_tables
+    if left_inner and not right_inner:
+        return right, left
+    if right_inner and not left_inner:
+        return left, right
+    return None
 
 
 class Binder:
@@ -123,11 +226,16 @@ class Binder:
     ) -> BoundQuery:
         cte_defs = {cte.name: cte.select for cte in statement.ctes}
         subqueries: Dict[str, QueryBlock] = {}
-        block, order_by = self._bind_select(
+        block, order_by, extensions, post = self._bind_select(
             statement, name, cte_defs, subqueries, allow_order=True
         )
         return BoundQuery(
-            name=name, block=block, subqueries=subqueries, order_by=order_by
+            name=name,
+            block=block,
+            subqueries=subqueries,
+            order_by=order_by,
+            extensions=extensions,
+            post=post,
         )
 
     # ------------------------------------------------------------------
@@ -139,18 +247,52 @@ class Binder:
         cte_defs: Dict[str, sql_ast.SelectStatement],
         subqueries: Dict[str, QueryBlock],
         allow_order: bool,
-    ) -> Tuple[QueryBlock, Tuple[Tuple[Expr, bool], ...]]:
+    ) -> Tuple[
+        QueryBlock,
+        Tuple[Tuple[Expr, bool], ...],
+        Tuple[JoinExtension, ...],
+        Optional[QueryShape],
+    ]:
         scope = self._build_scope(select.from_items, cte_defs, name)
 
+        ext_ids = itertools.count(1)
+        join_conjuncts: List[Expr] = []
+        #: (ext_id, null-extended table, ON-local conjuncts, key pairs)
+        pending_left: List[
+            Tuple[str, TableRef, List[Expr], List[Tuple[ColumnRef, ColumnRef]]]
+        ] = []
+        for join in select.joins:
+            if join.kind == "inner":
+                self._bind_inner_join(
+                    join, scope, cte_defs, subqueries, name, join_conjuncts
+                )
+            else:
+                pending_left.append(
+                    self._bind_outer_join(
+                        join, scope, cte_defs, subqueries, name,
+                        join_conjuncts, pending_left, ext_ids,
+                    )
+                )
+
+        where_ast, sub_predicates = _split_where_ast(select.where)
         where_expr = (
-            self._bind_expr(select.where, scope, cte_defs, subqueries, name)
-            if select.where is not None
+            self._bind_expr(where_ast, scope, cte_defs, subqueries, name)
+            if where_ast is not None
             else None
         )
         where_conjuncts = split_conjuncts(where_expr) + scope.extra_conjuncts()
+        where_conjuncts.extend(join_conjuncts)
         for conjunct in where_conjuncts:
             if conjunct.contains_aggregate():
                 raise BindError("aggregates are not allowed in WHERE")
+
+        semi_exts: List[JoinExtension] = []
+        for kind, node in sub_predicates:
+            semi_exts.append(
+                self._bind_subquery_extension(
+                    kind, node, scope, cte_defs, name, f"x{next(ext_ids)}"
+                )
+            )
 
         group_keys: List[ColumnRef] = []
         for expr in select.group_by:
@@ -158,6 +300,10 @@ class Binder:
             if not isinstance(bound, ColumnRef):
                 raise UnsupportedFeatureError(
                     "GROUP BY supports plain columns only"
+                )
+            if bound.table_ref in scope.nullable:
+                raise UnsupportedFeatureError(
+                    "GROUP BY over a nullable (outer-joined) column"
                 )
             if bound not in group_keys:
                 group_keys.append(bound)
@@ -207,18 +353,348 @@ class Binder:
                 expr = self._bind_order_item(
                     item.expr, outputs, scope, cte_defs, subqueries, name
                 )
+                if any(
+                    col.table_ref in scope.nullable for col in expr.columns()
+                ):
+                    raise UnsupportedFeatureError(
+                        "ORDER BY over a nullable (outer-joined) column"
+                    )
                 order_by.append((expr, item.descending))
 
-        block = QueryBlock(
+        if not pending_left and not semi_exts:
+            block = QueryBlock(
+                name=name,
+                tables=tuple(scope.all_tables()),
+                conjuncts=tuple(where_conjuncts),
+                output=tuple(outputs),
+                group_keys=tuple(group_keys),
+                aggregates=tuple(aggregates),
+                having=tuple(having_conjuncts),
+            )
+            return block, tuple(order_by), (), None
+
+        return self._assemble_extended(
+            name,
+            scope,
+            where_conjuncts,
+            outputs,
+            group_keys,
+            aggregates,
+            having_conjuncts,
+            pending_left,
+            semi_exts,
+            tuple(order_by),
+        )
+
+    def _assemble_extended(
+        self,
+        name: str,
+        scope: _Scope,
+        where_conjuncts: List[Expr],
+        outputs: List[OutputColumn],
+        group_keys: List[ColumnRef],
+        aggregates: List[AggExpr],
+        having_conjuncts: List[Expr],
+        pending_left: List[
+            Tuple[str, TableRef, List[Expr], List[Tuple[ColumnRef, ColumnRef]]]
+        ],
+        semi_exts: List[JoinExtension],
+        order_by: Tuple[Tuple[Expr, bool], ...],
+    ) -> Tuple[
+        QueryBlock,
+        Tuple[Tuple[Expr, bool], ...],
+        Tuple[JoinExtension, ...],
+        QueryShape,
+    ]:
+        """Split an extended query into an SPJ core block, join extensions,
+        and the post-extension shape (grouping/HAVING/projection applied
+        above the extension joins, per SQL semantics)."""
+        left_refs = {ref for _, ref, _, _ in pending_left}
+        core_tables = [t for t in scope.all_tables() if t not in left_refs]
+        core_set = set(core_tables)
+
+        # WHERE conjuncts referencing null-extended columns must run after
+        # the outer join, under three-valued logic.
+        core_conjuncts: List[Expr] = []
+        post_filters: List[Expr] = []
+        for conjunct in where_conjuncts:
+            touched = {col.table_ref for col in conjunct.columns()}
+            if touched <= core_set:
+                core_conjuncts.append(conjunct)
+            else:
+                post_filters.append(conjunct)
+
+        needed: Set[ColumnRef] = set()
+        for out in outputs:
+            needed |= out.expr.columns()
+        for conjunct in post_filters:
+            needed |= conjunct.columns()
+        needed |= set(group_keys)
+        for agg in aggregates:
+            needed |= agg.columns()
+        for conjunct in having_conjuncts:
+            needed |= conjunct.columns()
+        for ext in semi_exts:
+            needed |= {core_col for core_col, _ in ext.keys}
+        for _, _, _, keys in pending_left:
+            needed |= {core_col for core_col, _ in keys}
+
+        core_block = QueryBlock(
             name=name,
-            tables=tuple(scope.all_tables()),
-            conjuncts=tuple(where_conjuncts),
-            output=tuple(outputs),
+            tables=tuple(core_tables),
+            conjuncts=tuple(core_conjuncts),
+            output=_named_columns(
+                {c for c in needed if c.table_ref in core_set}
+            ),
+        )
+        extensions: List[JoinExtension] = []
+        for ext_id, ext_ref, local, keys in pending_left:
+            ext_needed = {c for c in needed if c.table_ref == ext_ref}
+            ext_needed |= {ext_col for _, ext_col in keys}
+            extensions.append(
+                JoinExtension(
+                    ext_id=ext_id,
+                    kind="left_outer",
+                    block=QueryBlock(
+                        name=f"{name}.{ext_id}",
+                        tables=(ext_ref,),
+                        conjuncts=tuple(local),
+                        output=_named_columns(ext_needed),
+                    ),
+                    keys=tuple(keys),
+                )
+            )
+        extensions.extend(semi_exts)
+        post = QueryShape(
             group_keys=tuple(group_keys),
             aggregates=tuple(aggregates),
             having=tuple(having_conjuncts),
+            output=tuple(outputs),
+            filters=tuple(post_filters),
         )
-        return block, tuple(order_by)
+        return core_block, order_by, tuple(extensions), post
+
+    # -- joins and subquery predicates -------------------------------------
+
+    def _scope_binding(
+        self, item: sql_ast.TableItem, scope: _Scope
+    ) -> Tuple[str, TableRef]:
+        """Allocate a fresh table instance for a JOIN clause's table."""
+        binding_name = (item.alias or item.name).lower()
+        taken = {b for b, _ in scope.tables} | {b for b, _ in scope.ctes}
+        if binding_name in taken:
+            raise BindError(f"duplicate FROM alias {binding_name!r}")
+        if not self.catalog.has_table(item.name):
+            raise BindError(f"unknown table {item.name!r}")
+        return binding_name, TableRef(
+            table=self.catalog.table(item.name).name,
+            instance=next(self._instances),
+            alias=binding_name,
+        )
+
+    def _bind_inner_join(
+        self,
+        join: sql_ast.SqlJoin,
+        scope: _Scope,
+        cte_defs: Dict[str, sql_ast.SelectStatement],
+        subqueries: Dict[str, QueryBlock],
+        name: str,
+        out_conjuncts: List[Expr],
+    ) -> None:
+        item = join.table
+        if item.name in cte_defs:
+            binding_name = (item.alias or item.name).lower()
+            taken = {b for b, _ in scope.tables} | {b for b, _ in scope.ctes}
+            if binding_name in taken:
+                raise BindError(f"duplicate FROM alias {binding_name!r}")
+            expansion = self._expand_cte(cte_defs[item.name], cte_defs, name)
+            scope.ctes.append((binding_name, expansion))
+            out_conjuncts.extend(expansion.conjuncts)
+        else:
+            binding_name, table_ref = self._scope_binding(item, scope)
+            scope.tables.append((binding_name, table_ref))
+        on = self._bind_expr(join.on, scope, cte_defs, subqueries, name)
+        if on.contains_aggregate():
+            raise BindError("aggregates are not allowed in ON conditions")
+        out_conjuncts.extend(split_conjuncts(on))
+
+    def _bind_outer_join(
+        self,
+        join: sql_ast.SqlJoin,
+        scope: _Scope,
+        cte_defs: Dict[str, sql_ast.SelectStatement],
+        subqueries: Dict[str, QueryBlock],
+        name: str,
+        join_conjuncts: List[Expr],
+        pending_left: List,
+        ext_ids,
+    ) -> Tuple[str, TableRef, List[Expr], List[Tuple[ColumnRef, ColumnRef]]]:
+        item = join.table
+        if item.name in cte_defs:
+            raise UnsupportedFeatureError(
+                "common table expressions on either side of an outer join"
+            )
+        binding_name, new_ref = self._scope_binding(item, scope)
+        if join.kind == "right":
+            # a RIGHT JOIN b ON p == b LEFT JOIN a ON p; supported only when
+            # the accumulated FROM is a single plain table, so the swap is
+            # unambiguous.
+            if (
+                scope.ctes
+                or len(scope.tables) != 1
+                or join_conjuncts
+                or pending_left
+                or scope.nullable
+            ):
+                raise UnsupportedFeatureError(
+                    "RIGHT JOIN is supported only directly over a single "
+                    "plain FROM table"
+                )
+            old_binding, old_ref = scope.tables[0]
+            scope.tables = [(binding_name, new_ref), (old_binding, old_ref)]
+            ext_ref = old_ref
+        else:
+            scope.tables.append((binding_name, new_ref))
+            ext_ref = new_ref
+        on = self._bind_expr(join.on, scope, cte_defs, subqueries, name)
+        if on.contains_aggregate():
+            raise BindError("aggregates are not allowed in ON conditions")
+        keys: List[Tuple[ColumnRef, ColumnRef]] = []
+        local: List[Expr] = []
+        for conjunct in split_conjuncts(on):
+            touched = {col.table_ref for col in conjunct.columns()}
+            if touched <= {ext_ref}:
+                local.append(conjunct)
+                continue
+            pair = _equality_key(conjunct, ext_ref)
+            if pair is None:
+                raise UnsupportedFeatureError(
+                    "outer join ON conditions must be equijoin keys plus "
+                    "filters on the null-extended side"
+                )
+            core_col, ext_col = pair
+            if core_col.table_ref in scope.nullable:
+                raise UnsupportedFeatureError(
+                    "outer join keyed on a nullable (outer-joined) column"
+                )
+            keys.append((core_col, ext_col))
+        if not keys:
+            raise UnsupportedFeatureError(
+                "outer joins require at least one equijoin key"
+            )
+        scope.nullable.add(ext_ref)
+        return f"x{next(ext_ids)}", ext_ref, local, keys
+
+    def _bind_subquery_extension(
+        self,
+        kind: str,
+        node: sql_ast.SqlExpr,
+        scope: _Scope,
+        cte_defs: Dict[str, sql_ast.SelectStatement],
+        name: str,
+        ext_id: str,
+    ) -> JoinExtension:
+        """Decorrelate one EXISTS / IN subquery predicate into a semi/anti
+        join extension whose build side is a plain SPJ block."""
+        if isinstance(node, sql_ast.SqlExists):
+            sub_select = node.select
+            subject_ast: Optional[sql_ast.SqlExpr] = None
+        else:
+            assert isinstance(node, sql_ast.SqlInSubquery)
+            sub_select = node.select
+            subject_ast = node.subject
+        if (
+            sub_select.joins
+            or sub_select.group_by
+            or sub_select.having
+            or sub_select.order_by
+            or sub_select.ctes
+        ):
+            raise UnsupportedFeatureError(
+                "EXISTS/IN subqueries must be plain select-project-join"
+            )
+        inner_scope = self._build_scope(sub_select.from_items, cte_defs, name)
+        if inner_scope.ctes:
+            raise UnsupportedFeatureError(
+                "common table expressions inside EXISTS/IN subqueries"
+            )
+        inner_tables = {t for _, t in inner_scope.tables}
+        combined = _Scope(
+            tables=inner_scope.tables + scope.tables,
+            ctes=list(scope.ctes),
+            nullable=set(scope.nullable),
+        )
+        local_subqueries: Dict[str, QueryBlock] = {}
+        conjuncts: List[Expr] = []
+        if sub_select.where is not None:
+            where = self._bind_expr(
+                sub_select.where, combined, cte_defs, local_subqueries, name
+            )
+            conjuncts = split_conjuncts(where)
+        if local_subqueries:
+            raise UnsupportedFeatureError(
+                "scalar subqueries inside EXISTS/IN subqueries"
+            )
+        keys: List[Tuple[ColumnRef, ColumnRef]] = []
+        local: List[Expr] = []
+        for conjunct in conjuncts:
+            if conjunct.contains_aggregate():
+                raise BindError("aggregates are not allowed in WHERE")
+            touched = {col.table_ref for col in conjunct.columns()}
+            if touched <= inner_tables:
+                local.append(conjunct)
+                continue
+            pair = _correlation_key(conjunct, inner_tables)
+            if pair is None:
+                raise UnsupportedFeatureError(
+                    "EXISTS/IN correlation must be column-equality conjuncts"
+                )
+            outer_col, inner_col = pair
+            if outer_col.table_ref in scope.nullable:
+                raise UnsupportedFeatureError(
+                    "EXISTS/IN correlated on a nullable (outer-joined) column"
+                )
+            keys.append((outer_col, inner_col))
+        if subject_ast is not None:
+            if len(sub_select.select_items) != 1 or isinstance(
+                sub_select.select_items[0].expr, sql_ast.SqlStar
+            ):
+                raise BindError(
+                    "IN subqueries must select exactly one column"
+                )
+            inner_only = _Scope(tables=list(inner_scope.tables))
+            inner_expr = self._bind_expr(
+                sub_select.select_items[0].expr,
+                inner_only, cte_defs, local_subqueries, name,
+            )
+            subject = self._bind_expr(
+                subject_ast, scope, cte_defs, local_subqueries, name
+            )
+            if not (
+                isinstance(inner_expr, ColumnRef)
+                and isinstance(subject, ColumnRef)
+            ):
+                raise UnsupportedFeatureError(
+                    "IN subqueries support plain column membership only"
+                )
+            if subject.table_ref in scope.nullable:
+                raise UnsupportedFeatureError(
+                    "IN subject over a nullable (outer-joined) column"
+                )
+            keys.append((subject, inner_expr))
+        if not keys:
+            raise UnsupportedFeatureError(
+                "uncorrelated EXISTS/IN subqueries"
+            )
+        block = QueryBlock(
+            name=f"{name}.{ext_id}",
+            tables=tuple(t for _, t in inner_scope.tables),
+            conjuncts=tuple(local),
+            output=_named_columns({inner_col for _, inner_col in keys}),
+        )
+        return JoinExtension(
+            ext_id=ext_id, kind=kind, block=block, keys=tuple(keys)
+        )
 
     # -- scope ------------------------------------------------------------
 
@@ -440,6 +916,11 @@ class Binder:
             return Not(membership) if expr.negated else membership
         if isinstance(expr, sql_ast.SqlSubquery):
             return self._bind_subquery(expr, cte_defs, subqueries, name)
+        if isinstance(expr, (sql_ast.SqlExists, sql_ast.SqlInSubquery)):
+            raise UnsupportedFeatureError(
+                "EXISTS/IN subqueries are supported only as top-level "
+                "WHERE conjuncts"
+            )
         if isinstance(expr, sql_ast.SqlStar):
             raise BindError("* is only allowed in the select list")
         raise BindError(f"cannot bind expression {expr!r}")
@@ -480,7 +961,16 @@ class Binder:
             raise UnsupportedFeatureError("DISTINCT aggregates")
         func = _AGG_FUNCS[call.func]
         if func is AggFunc.COUNT:
-            # No NULLs in this engine: COUNT(x) == COUNT(*).
+            if call.arg is not None:
+                arg = self._bind_expr(call.arg, scope, cte_defs, subqueries, name)
+                if any(
+                    col.table_ref in scope.nullable for col in arg.columns()
+                ):
+                    raise UnsupportedFeatureError(
+                        "COUNT over a nullable (outer-joined) column"
+                    )
+            # Base columns are never NULL, so COUNT(x) == COUNT(*); nullable
+            # (outer-joined) arguments are gated above.
             return AggExpr(AggFunc.COUNT, None)
         if call.arg is None:
             raise BindError(f"{call.func} requires an argument")
@@ -488,6 +978,10 @@ class Binder:
         if arg.contains_aggregate():
             raise BindError("nested aggregates are not allowed")
         if func is AggFunc.AVG:
+            if any(col.table_ref in scope.nullable for col in arg.columns()):
+                raise UnsupportedFeatureError(
+                    "AVG over a nullable (outer-joined) column"
+                )
             return Arithmetic(
                 ArithmeticOp.DIV,
                 AggExpr(AggFunc.SUM, arg),
@@ -564,9 +1058,13 @@ class Binder:
         if select.order_by:
             raise UnsupportedFeatureError("ORDER BY inside a scalar subquery")
         sid = f"sq{next(self._subquery_counter)}"
-        block, _ = self._bind_select(
+        block, _, extensions, _post = self._bind_select(
             select, f"{name}.{sid}", cte_defs, subqueries, allow_order=False
         )
+        if extensions:
+            raise UnsupportedFeatureError(
+                "outer/semi joins inside scalar subqueries"
+            )
         if len(block.output) != 1:
             raise BindError("scalar subquery must produce exactly one column")
         if block.group_keys:

@@ -17,6 +17,7 @@ KEYWORDS = {
     "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "AS",
     "AND", "OR", "NOT", "ASC", "DESC", "WITH", "SUM", "COUNT", "MIN",
     "MAX", "AVG", "DATE", "BETWEEN", "IN", "DISTINCT",
+    "JOIN", "LEFT", "RIGHT", "OUTER", "INNER", "ON", "EXISTS",
 }
 
 

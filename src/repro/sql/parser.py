@@ -34,8 +34,11 @@ from .ast import (
     SqlBinary,
     SqlCall,
     SqlColumn,
+    SqlExists,
     SqlExpr,
     SqlInList,
+    SqlInSubquery,
+    SqlJoin,
     SqlLiteral,
     SqlNot,
     SqlStar,
@@ -127,6 +130,12 @@ class _Parser:
         from_items = [self._parse_table_item()]
         while self._accept(TokenType.COMMA):
             from_items.append(self._parse_table_item())
+        joins: List[SqlJoin] = []
+        while True:
+            join = self._parse_join_clause()
+            if join is None:
+                break
+            joins.append(join)
         where = None
         if self._accept_keyword("WHERE"):
             where = self.parse_expr()
@@ -148,11 +157,34 @@ class _Parser:
         return SelectStatement(
             select_items=select_items,
             from_items=from_items,
+            joins=joins,
             where=where,
             group_by=group_by,
             having=having,
             order_by=order_by,
         )
+
+    def _parse_join_clause(self) -> Optional[SqlJoin]:
+        """Parse ``[INNER | LEFT [OUTER] | RIGHT [OUTER]] JOIN t ON expr``."""
+        token = self._peek()
+        if token.matches_keyword("JOIN"):
+            self._advance()
+            kind = "inner"
+        elif token.matches_keyword("INNER"):
+            self._advance()
+            self._expect_keyword("JOIN")
+            kind = "inner"
+        elif token.matches_keyword("LEFT") or token.matches_keyword("RIGHT"):
+            kind = "left" if token.value == "LEFT" else "right"
+            self._advance()
+            self._accept_keyword("OUTER")
+            self._expect_keyword("JOIN")
+        else:
+            return None
+        table = self._parse_table_item()
+        self._expect_keyword("ON")
+        on = self.parse_expr()
+        return SqlJoin(kind=kind, table=table, on=on)
 
     def _parse_select_item(self) -> SelectItem:
         if self._peek().type is TokenType.STAR:
@@ -220,6 +252,12 @@ class _Parser:
         return self._parse_predicate()
 
     def _parse_predicate(self) -> SqlExpr:
+        if self._peek().matches_keyword("EXISTS"):
+            self._advance()
+            self._expect(TokenType.LPAREN)
+            select = self.parse_select()
+            self._expect(TokenType.RPAREN)
+            return SqlExists(select=select)
         left = self._parse_additive()
         token = self._peek()
         if token.type is TokenType.OPERATOR and token.value in _COMPARISONS:
@@ -242,6 +280,10 @@ class _Parser:
         if token.matches_keyword("IN"):
             self._advance()
             self._expect(TokenType.LPAREN)
+            if self._peek().matches_keyword("SELECT"):
+                select = self.parse_select()
+                self._expect(TokenType.RPAREN)
+                return SqlInSubquery(subject=left, select=select, negated=negated)
             options = [self._parse_additive()]
             while self._accept(TokenType.COMMA):
                 options.append(self._parse_additive())

@@ -8,6 +8,9 @@
 * :func:`random_spjg_batch` — seed-determined small SPJG batches for the
   property-based suites: queries share join chains (so candidate CSEs are
   frequent) but vary predicates, groupings, and aggregates.
+* :func:`random_sql_batch` — seed-determined batches over the *widened*
+  surface: outer joins, EXISTS/IN subquery predicates, NULL-heavy
+  projections, mixed with plain SPJG queries.
 * :func:`independent_pairs_batch` — six queries in three independent
   shared-subexpression pairs, built for the parallel serving benchmark.
 """
@@ -168,6 +171,192 @@ def random_spjg_batch(seed: int, query_count: Optional[int] = None) -> str:
     if query_count is None:
         query_count = rng.randint(2, 3)
     return ";\n".join(random_spjg_query(rng) for _ in range(query_count))
+
+
+# -- widened-surface random batches (outer / semi / anti joins) -------------
+
+#: LEFT JOIN shapes: (core table, ext table, ON equijoin key, ext-side
+#: filter (column, low, high), null-rejecting ext column for reduction
+#: variants, ext-side aggregate column, core grouping columns).
+_LEFT_SHAPES = [
+    (
+        "customer",
+        "orders",
+        "c_custkey = o_custkey",
+        ("o_totalprice", 1000, 400000),
+        "o_totalprice",
+        "o_totalprice",
+        ["c_nationkey", "c_mktsegment"],
+    ),
+    (
+        "orders",
+        "lineitem",
+        "o_orderkey = l_orderkey",
+        ("l_quantity", 1, 50),
+        "l_quantity",
+        "l_extendedprice",
+        ["o_orderstatus", "o_orderpriority"],
+    ),
+    (
+        "part",
+        "lineitem",
+        "p_partkey = l_partkey",
+        ("l_quantity", 1, 50),
+        "l_extendedprice",
+        "l_quantity",
+        ["p_size"],
+    ),
+]
+
+#: EXISTS/IN shapes: (outer table, inner tables, correlation conjunct,
+#: inner join conjuncts, inner filter (column, low, high), IN membership
+#: pair (subject column, inner column) or None, core grouping columns).
+_SUBQUERY_SHAPES = [
+    (
+        "customer",
+        ["orders", "lineitem"],
+        "o_custkey = c_custkey",
+        ["o_orderkey = l_orderkey"],
+        ("l_quantity", 1, 50),
+        None,
+        ["c_nationkey", "c_mktsegment"],
+    ),
+    (
+        "customer",
+        ["orders"],
+        "o_custkey = c_custkey",
+        [],
+        ("o_totalprice", 1000, 400000),
+        ("c_custkey", "o_custkey"),
+        ["c_nationkey", "c_mktsegment"],
+    ),
+    (
+        "orders",
+        ["lineitem"],
+        "l_orderkey = o_orderkey",
+        [],
+        ("l_quantity", 1, 50),
+        ("o_orderkey", "l_orderkey"),
+        ["o_orderstatus", "o_orderpriority"],
+    ),
+]
+
+
+def _random_left_join_query(rng: random.Random) -> str:
+    """One random LEFT (or reducible-to-inner) OUTER JOIN query."""
+    core, ext, key, on_filter, nr_col, agg_col, groupings = _LEFT_SHAPES[
+        rng.randrange(len(_LEFT_SHAPES))
+    ]
+    on = key
+    if rng.random() < 0.5:
+        column, low, high = on_filter
+        on += f" and {column} {rng.choice(['<', '>', '<=', '>='])} " \
+              f"{rng.randint(low, high)}"
+    where: List[str] = []
+    if rng.random() < 0.5:
+        column, low, high = _SPJG_RANGES[core]
+        where.append(
+            f"{column} {rng.choice(['<', '>', '<=', '>='])} "
+            f"{rng.randint(low, high)}"
+        )
+    if rng.random() < 0.4:
+        # Null-rejecting filter on the null-extended side: the simplifier
+        # proves the outer join reducible, so this variant shares inner-join
+        # spools with plain SPJG queries.
+        where.append(f"{nr_col} > 0")
+    where_sql = f" where {' and '.join(where)}" if where else ""
+    if rng.random() < 0.6:
+        group_col = rng.choice(groupings)
+        agg = rng.choice(["sum", "min", "max", "count"])
+        agg_sql = f"{agg}({agg_col})" if agg != "count" else "count(*)"
+        return (
+            f"select {group_col}, {agg_sql} as v from {core} "
+            f"left join {ext} on {on}{where_sql} group by {group_col}"
+        )
+    # NULL-heavy projection: null-extended columns flow to the output.
+    out_cols = f"{rng.choice(groupings)}, {agg_col}"
+    return (
+        f"select {out_cols} from {core} left join {ext} on {on}{where_sql}"
+    )
+
+
+def _random_subquery_query(rng: random.Random) -> str:
+    """One random EXISTS / NOT EXISTS / IN / NOT IN query."""
+    shape = _SUBQUERY_SHAPES[rng.randrange(len(_SUBQUERY_SHAPES))]
+    outer, inners, corr, joins, inner_filter, in_pair, groupings = shape
+    inner_where = [corr] + list(joins)
+    if rng.random() < 0.6:
+        column, low, high = inner_filter
+        inner_where.append(
+            f"{column} {rng.choice(['<', '>', '<=', '>='])} "
+            f"{rng.randint(low, high)}"
+        )
+    if in_pair is not None and rng.random() < 0.5:
+        subject, member = in_pair
+        column, low, high = inner_filter
+        op = "not in" if rng.random() < 0.3 else "in"
+        filter_sql = ""
+        if rng.random() < 0.7:
+            filter_sql = (
+                f" where {column} {rng.choice(['<', '>'])} "
+                f"{rng.randint(low, high)}"
+            )
+        sub = (
+            f"{subject} {op} "
+            f"(select {member} from {', '.join(inners)}{filter_sql})"
+        )
+    else:
+        prefix = "not exists" if rng.random() < 0.3 else "exists"
+        sub = (
+            f"{prefix} (select * from {', '.join(inners)} "
+            f"where {' and '.join(inner_where)})"
+        )
+    where = [sub]
+    if rng.random() < 0.5:
+        column, low, high = _SPJG_RANGES[outer]
+        where.append(
+            f"{column} {rng.choice(['<', '>', '<=', '>='])} "
+            f"{rng.randint(low, high)}"
+        )
+    if rng.random() < 0.6:
+        group_col = rng.choice(groupings)
+        agg_col = _SPJG_AGGREGATES[outer]
+        agg = rng.choice(["sum", "min", "max", "count"])
+        agg_sql = f"{agg}({agg_col})" if agg != "count" else "count(*)"
+        return (
+            f"select {group_col}, {agg_sql} as v from {outer} "
+            f"where {' and '.join(where)} group by {group_col}"
+        )
+    return (
+        f"select {rng.choice(groupings)}, {_SPJG_AGGREGATES[outer]} "
+        f"from {outer} where {' and '.join(where)}"
+    )
+
+
+def random_sql_batch(seed: int, query_count: Optional[int] = None) -> str:
+    """A seed-determined batch over the *widened* SQL surface.
+
+    Queries mix LEFT OUTER JOIN (sometimes with a null-rejecting WHERE, so
+    the simplifier reduces them to inner joins), EXISTS / NOT EXISTS and
+    IN / NOT IN subquery predicates (decorrelated to semi/anti join
+    extensions), and plain SPJG queries. Shapes draw from small pools so
+    batches regularly contain similar subexpressions — both between
+    widened queries (shared semi-join build sides) and across the
+    inner/outer boundary (reduced outer joins matching plain join spools).
+    """
+    rng = random.Random(seed)
+    if query_count is None:
+        query_count = rng.randint(2, 3)
+    queries: List[str] = []
+    for _ in range(query_count):
+        roll = rng.random()
+        if roll < 0.35:
+            queries.append(_random_left_join_query(rng))
+        elif roll < 0.75:
+            queries.append(_random_subquery_query(rng))
+        else:
+            queries.append(random_spjg_query(rng))
+    return ";\n".join(queries)
 
 
 def complex_join_batch(seed: int = 11) -> str:

@@ -25,10 +25,26 @@ from repro.workloads import ADAPTED_QUERIES, example1_batch, nested_query
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
+#: widened-surface batch: an outer join kept as a LeftOuterHashJoin, a
+#: reducible outer join folded to an inner join, and a query whose EXISTS /
+#: NOT EXISTS predicates become Semi/AntiHashJoin operators.
+WIDENED_BATCH = (
+    "select c_nationkey, count(*) as v from customer "
+    "left join orders on c_custkey = o_custkey group by c_nationkey;"
+    "select c_mktsegment, sum(o_totalprice) as v from customer "
+    "left join orders on c_custkey = o_custkey "
+    "where o_totalprice > 1000 group by c_mktsegment;"
+    "select o_orderkey from orders where exists "
+    "(select * from lineitem where l_orderkey = o_orderkey) "
+    "and not exists (select * from lineitem "
+    "where l_orderkey = o_orderkey and l_quantity > 45)"
+)
+
 CASES = {
     "example1_batch": example1_batch(),
     "tpch_q5": ADAPTED_QUERIES["Q5"],
     "nested_query": nested_query(),
+    "widened_batch": WIDENED_BATCH,
 }
 
 

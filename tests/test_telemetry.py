@@ -326,6 +326,94 @@ class TestDecisionJournal:
         assert len(NULL_JOURNAL) == 0
 
 
+#: two EXISTS consumers sharing one decorrelated semi-join build side — every
+#: consumer match goes through the equivalence-checker gate.
+_EXISTS_PAIR_SQL = (
+    "select c_nationkey, count(*) as v from customer where exists "
+    "(select * from orders, lineitem where o_custkey = c_custkey and "
+    "o_orderkey = l_orderkey and l_quantity < 30) group by c_nationkey;"
+    "select c_mktsegment, count(*) as v from customer where exists "
+    "(select * from orders, lineitem where o_custkey = c_custkey and "
+    "o_orderkey = l_orderkey and l_quantity < 30) group by c_mktsegment"
+)
+
+#: a bare outer join: the simplifier's reduction attempt must give up, and
+#: ``--why`` must say so.
+_BARE_LEFT_SQL = (
+    "select c_nationkey, o_totalprice from customer "
+    "left join orders on c_custkey = o_custkey"
+)
+
+_REDUCIBLE_LEFT_SQL = (
+    "select c_nationkey, o_totalprice from customer "
+    "left join orders on c_custkey = o_custkey where o_totalprice > 1000"
+)
+
+
+class TestEquivalenceJournal:
+    def test_consumer_matches_emit_equiv_events(self, small_db):
+        journal = DecisionJournal()
+        session = Session(small_db, journal=journal)
+        session.optimize(_EXISTS_PAIR_SQL)
+        checks = [
+            e for e in journal.events("equiv") if e.get("cse_id") is not None
+        ]
+        assert checks, "consumer matching must consult the checker"
+        for entry in checks:
+            assert entry["outcome"] in ("proved", "refuted", "gave_up")
+            assert entry["consumer"].startswith("g")
+            assert entry["reason"]
+
+    def test_verdicts_name_checker_outcome(self, small_db):
+        """Acceptance: every candidate verdict carries the equivalence-
+        checker tally for its consumer checks, and the checks appear in
+        the candidate's journal trail."""
+        journal = DecisionJournal()
+        session = Session(small_db, journal=journal)
+        session.optimize(_EXISTS_PAIR_SQL)
+        verdicts = journal.verdicts()
+        assert verdicts
+        for cse_id, verdict in verdicts.items():
+            assert "proved=" in verdict["equiv"], verdict
+            trail = journal.for_candidate(cse_id)
+            assert any(e["kind"] == "equiv" for e in trail)
+
+    def test_why_reports_rejected_outer_join_reduction(self, small_db):
+        report = Session(small_db).explain(_BARE_LEFT_SQL, why=True)
+        assert "equivalence checker (outer-join simplification):" in report
+        assert "gave_up" in report
+        assert "no post-join filter constrains the outer side" in report
+
+    def test_why_reports_proved_reduction(self, small_db):
+        report = Session(small_db).explain(_REDUCIBLE_LEFT_SQL, why=True)
+        assert "outer-join reduction: proved" in report
+        assert "null-rejecting" in report
+
+    def test_why_renders_consumer_checks_under_candidate(self, small_db):
+        journal = DecisionJournal()
+        session = Session(small_db, journal=journal)
+        session.optimize(_EXISTS_PAIR_SQL)
+        report = journal.render_why()
+        assert "equivalence check for consumer" in report
+        assert "[equivalence checker: proved=" in report
+
+    def test_equiv_events_survive_jsonl(self, small_db):
+        journal = DecisionJournal()
+        session = Session(small_db, journal=journal)
+        session.optimize(_EXISTS_PAIR_SQL + ";" + _BARE_LEFT_SQL)
+        parsed = [
+            json.loads(line)
+            for line in journal.to_jsonl().strip().splitlines()
+        ]
+        kinds = {entry["kind"] for entry in parsed}
+        assert "equiv" in kinds
+        reduction = [
+            e for e in parsed
+            if e["kind"] == "equiv" and e.get("cse_id") is None
+        ]
+        assert any(e.get("extension") for e in reduction)
+
+
 # ---------------------------------------------------------------------------
 # Satellites: parallel op-stat timer reconciliation, tracer concurrency
 # ---------------------------------------------------------------------------
