@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Compare current ``BENCH_*.json`` artifacts against a previous run.
+
+CI downloads the previous successful run's ``bench-artifacts`` into a
+baseline directory, runs the smoke benchmarks, then invokes::
+
+    python benchmarks/compare_trend.py --baseline previous-bench
+
+The script pairs artifacts by file name and compares, per test, every
+comparable timing field (``wall_seconds`` plus any ``*_ms`` /
+``overhead`` entry in ``extra_info``). A test **regresses** when a
+timing grows by more than the allowed fraction (default 20%, override
+with ``--threshold``) *and* by more than an absolute noise floor
+(default 5ms — shared-runner jitter on sub-millisecond timings is not a
+regression). Exit status: 0 when clean or when no baseline exists
+(first run, expired artifacts), 1 when any regression is found.
+
+Stdlib only, no repo imports — CI can run it from a bare checkout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Tuple
+
+#: regression threshold as a fraction of the baseline value.
+DEFAULT_THRESHOLD = 0.20
+#: absolute floor in seconds under which growth is considered noise.
+DEFAULT_NOISE_FLOOR_S = 0.005
+
+
+def _load(path: Path) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _timings(test: Dict[str, Any]) -> Iterator[Tuple[str, float]]:
+    """(metric name, seconds) pairs comparable across runs."""
+    wall = test.get("wall_seconds")
+    if isinstance(wall, (int, float)):
+        yield "wall_seconds", float(wall)
+    extra = test.get("extra_info") or {}
+    for key, value in sorted(extra.items()):
+        if not isinstance(value, (int, float)):
+            continue
+        if key.endswith("_ms"):
+            yield key, float(value) / 1000.0
+
+
+def compare_artifact(
+    name: str,
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    threshold: float,
+    noise_floor: float,
+) -> List[str]:
+    """Human-readable regression lines for one artifact pair."""
+    regressions: List[str] = []
+    base_tests = baseline.get("tests", {})
+    for test_name, test in sorted(current.get("tests", {}).items()):
+        base = base_tests.get(test_name)
+        if base is None:
+            continue
+        base_timings = dict(_timings(base))
+        for metric, now in _timings(test):
+            before = base_timings.get(metric)
+            if before is None or before <= 0.0:
+                continue
+            growth = (now - before) / before
+            if growth > threshold and (now - before) > noise_floor:
+                regressions.append(
+                    f"{name}::{test_name} {metric}: "
+                    f"{before * 1000:.2f}ms -> {now * 1000:.2f}ms "
+                    f"({growth * 100:+.1f}% > {threshold * 100:.0f}%)"
+                )
+    return regressions
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--current", default=".",
+        help="directory holding this run's BENCH_*.json (default: cwd)",
+    )
+    parser.add_argument(
+        "--baseline", required=True,
+        help="directory holding the previous run's BENCH_*.json",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="allowed fractional growth per timing (default 0.20)",
+    )
+    parser.add_argument(
+        "--noise-floor-ms", type=float,
+        default=DEFAULT_NOISE_FLOOR_S * 1000.0,
+        help="absolute growth below this is never a regression "
+             "(default 5ms)",
+    )
+    args = parser.parse_args(argv)
+
+    current_dir = Path(args.current)
+    baseline_dir = Path(args.baseline)
+    artifacts = sorted(current_dir.glob("BENCH_*.json"))
+    if not artifacts:
+        print("no BENCH_*.json artifacts in", current_dir)
+        return 0
+    if not baseline_dir.is_dir():
+        print(f"no baseline directory {baseline_dir}; first run — passing")
+        return 0
+
+    regressions: List[str] = []
+    compared = 0
+    for path in artifacts:
+        base_path = baseline_dir / path.name
+        if not base_path.exists():
+            print(f"{path.name}: no baseline artifact (new benchmark)")
+            continue
+        compared += 1
+        regressions.extend(
+            compare_artifact(
+                path.name,
+                _load(path),
+                _load(base_path),
+                args.threshold,
+                args.noise_floor_ms / 1000.0,
+            )
+        )
+
+    if not compared:
+        print("no artifact pairs to compare; passing")
+        return 0
+    if regressions:
+        print(f"{len(regressions)} timing regression(s):")
+        for line in regressions:
+            print(" ", line)
+        return 1
+    print(
+        f"{compared} artifact(s) compared against {baseline_dir}: "
+        f"no regression beyond {args.threshold * 100:.0f}%"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

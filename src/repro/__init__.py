@@ -39,6 +39,8 @@ from .obs import (
     Histogram,
     MetricsRegistry,
     QueryLog,
+    SharingLedger,
+    SpanContext,
     TelemetryServer,
     Tracer,
     render_prometheus,
@@ -84,6 +86,8 @@ __all__ = [
     "CostModel",
     "MetricsRegistry",
     "Tracer",
+    "SpanContext",
+    "SharingLedger",
     "Histogram",
     "TelemetryServer",
     "QueryLog",

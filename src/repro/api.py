@@ -45,8 +45,11 @@ from .obs import (
     DecisionJournal,
     MetricsRegistry,
     QueryLog,
+    SharingLedger,
     TelemetryServer,
     Tracer,
+    build_ledger,
+    estimated_ledger,
 )
 from .optimizer.cost import CostModel
 from .optimizer.engine import OptimizationResult, Optimizer
@@ -76,6 +79,10 @@ class ExecutionOutcome:
     #: ``"optimizer_deadline"``, or ``"spool_budget"`` (None when not
     #: degraded).
     fallback_reason: Optional[str] = None
+    #: the sharing-economics ledger for this batch (estimated vs measured
+    #: Def 5.1 savings per shared spool and per query); None only when the
+    #: batch was never executed.
+    ledger: Optional[SharingLedger] = None
 
     @property
     def est_cost(self) -> float:
@@ -119,6 +126,7 @@ class Session:
         cost_model: Optional[CostModel] = None,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        trace_path: Optional[str] = None,
         workers: int = 1,
         plan_cache_size: int = 64,
         journal: Optional[DecisionJournal] = None,
@@ -135,6 +143,11 @@ class Session:
         if registry is None and telemetry_port is not None:
             registry = MetricsRegistry()
         self.registry = registry or NULL_REGISTRY
+        # ``trace_path`` binds a fresh tracer to a JSONL file with the full
+        # flush/close lifecycle (closed by Session.close / the context
+        # manager, finalized at interpreter exit as a last resort).
+        if tracer is None and trace_path is not None:
+            tracer = Tracer(path=trace_path)
         self.tracer = tracer or NULL_TRACER
         # Explicit None checks: journals and query logs are sized containers,
         # so a fresh (empty) one is falsy and `or` would drop it.
@@ -273,13 +286,17 @@ class Session:
             else nullcontext()
         )
         with admit:
-            token = budget.start() if budget is not None else None
-            result, cache_hit, opt_fallback = self._optimize_governed(
-                batch, budget, token
-            )
-            execution, exec_fallback = self._execute_governed(
-                result, collect_op_stats, parallel, workers, budget, token
-            )
+            # One root span per batch: optimization, governor events, and
+            # every executor task (across worker threads) nest under it.
+            with self.tracer.span("batch", queries=len(batch.queries)):
+                token = budget.start() if budget is not None else None
+                result, cache_hit, opt_fallback = self._optimize_governed(
+                    batch, budget, token
+                )
+                execution, exec_fallback = self._execute_governed(
+                    result, collect_op_stats, parallel, workers, budget,
+                    token,
+                )
         wall = perf_counter() - start
         self.registry.observe("serve.query_seconds", wall)
         reason = opt_fallback or exec_fallback
@@ -289,10 +306,53 @@ class Session:
             plan_cache_hit=cache_hit,
             degraded=reason is not None,
             fallback_reason=reason,
+            ledger=self._build_ledger(result, execution, reason),
         )
+        self._publish_ledger(outcome.ledger)
         if self.query_log.enabled:
             self._log_query(batch, outcome, wall)
         return outcome
+
+    def _build_ledger(
+        self,
+        result: OptimizationResult,
+        execution: BatchResult,
+        fallback_reason: Optional[str],
+    ) -> SharingLedger:
+        """The batch's sharing ledger (estimated vs measured Def 5.1)."""
+        from .serve.schedule import query_spool_read_counts
+
+        # A spool-budget fallback executed the no-sharing baseline bundle,
+        # so planned reads must come from the bundle that actually ran.
+        bundle = (
+            result.base_bundle
+            if fallback_reason == "spool_budget"
+            else result.bundle
+        )
+        return build_ledger(
+            result.candidates,
+            execution.metrics.spool_stats,
+            query_spool_read_counts(bundle),
+        )
+
+    def _publish_ledger(self, ledger: Optional[SharingLedger]) -> None:
+        """Mirror a batch ledger into metrics, journal, and trace."""
+        if ledger is None or not ledger.spools:
+            return
+        ledger.publish(self.registry)
+        for cse_id in ledger.negative_spools:
+            entry = ledger.spool(cse_id)
+            payload = {
+                "spool": cse_id,
+                "est_savings": round(entry.est_savings, 4),
+                "measured_savings": round(entry.measured_savings, 4),
+                "consumers": entry.consumers,
+            }
+            # Sharing that lost money is the input adaptive
+            # re-optimization needs — make it loud on every channel.
+            if self.journal.enabled:
+                self.journal.event("negative_spool_benefit", **payload)
+            self.tracer.event("negative_spool_benefit", **payload)
 
     def _optimize_governed(
         self,
@@ -447,6 +507,10 @@ class Session:
         }
         if outcome.fallback_reason is not None:
             record["fallback_reason"] = outcome.fallback_reason
+        if outcome.ledger is not None and outcome.ledger.spools:
+            # The same rounded payload the metrics gauges and EXPLAIN
+            # ANALYZE carry, so the three surfaces agree exactly.
+            record["ledger"] = outcome.ledger.to_payload()
         if self.query_log.is_slow(wall_ms):
             from .optimizer.explain import render_analyzed_bundle
 
@@ -455,14 +519,16 @@ class Session:
                 outcome.optimization,
                 outcome.execution,
                 self.cost_model,
+                ledger=outcome.ledger,
             )
         self.query_log.record(record)
 
     def close(self) -> None:
-        """Stop the telemetry server, if one was started."""
+        """Stop the telemetry server and settle the trace file, if any."""
         if self.telemetry is not None:
             self.telemetry.stop()
             self.telemetry = None
+        self.tracer.close()
 
     def __enter__(self) -> "Session":
         return self
@@ -524,10 +590,14 @@ class Session:
                 self.cost_model,
                 registry=self.registry,
                 workers=count,
+                tracer=self.tracer,
             )
         else:
             executor = Executor(
-                self.database, self.cost_model, registry=self.registry
+                self.database,
+                self.cost_model,
+                registry=self.registry,
+                tracer=self.tracer,
             )
         return executor.execute(
             bundle if bundle is not None else result.bundle,
@@ -566,7 +636,17 @@ class Session:
                 f" used: {result.stats.used_cses}",
                 "",
             ]
-            return "\n".join(header) + journal.render_why()
+            report = "\n".join(header) + journal.render_why()
+            from .serve.schedule import query_spool_read_counts
+
+            ledger = estimated_ledger(
+                result.candidates, query_spool_read_counts(result.bundle)
+            )
+            if ledger.spools:
+                # Plan-time economics only — the batch never ran here, so
+                # measured columns are zero by construction.
+                report += "\n\n" + ledger.render()
+            return report
         result = self.optimize(target)
         if analyze:
             from .optimizer.explain import explain_analyze

@@ -147,6 +147,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("experiment", choices=_BENCH_CHOICES)
 
+    trace = sub.add_parser(
+        "trace",
+        help=(
+            "analyze a JSONL trace file (critical path, per-task slack, "
+            "operator attribution) or export it for chrome://tracing; "
+            "`repro trace export FILE --format chrome` also works"
+        ),
+    )
+    trace.add_argument(
+        "file",
+        help="trace file written by `query --trace` / Session(trace_path=…)",
+    )
+    trace.add_argument(
+        "--critical-path", action="store_true",
+        help=(
+            "report the batch's critical path and per-task slack over the "
+            "observed spool producer/consumer DAG"
+        ),
+    )
+    trace.add_argument(
+        "--summary", action="store_true",
+        help="report trace volume, spool flows, and span self-time",
+    )
+    trace.add_argument(
+        "--export", choices=("chrome",), default=None, metavar="FORMAT",
+        help="export instead of analyzing (chrome = trace-event JSON)",
+    )
+    trace.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the export to FILE instead of stdout",
+    )
+
     serve = sub.add_parser(
         "serve-metrics",
         help=(
@@ -410,11 +442,74 @@ def _cmd_bench(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace, out) -> int:
+    from .obs import (
+        analyze,
+        load_trace,
+        render_chrome_trace,
+        render_critical_path,
+        render_summary,
+    )
+
+    trace = load_trace(args.file)
+    if args.export == "chrome":
+        payload = render_chrome_trace(trace.events, trace.header)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as sink:
+                sink.write(payload + "\n")
+            print(
+                f"wrote chrome trace ({len(trace.events)} event(s)) "
+                f"to {args.out}",
+                file=out,
+            )
+        else:
+            print(payload, file=out)
+        return 0
+    shown = False
+    if args.critical_path:
+        print(render_critical_path(analyze(trace.events)), file=out)
+        shown = True
+    if args.summary or not shown:
+        if shown:
+            print("", file=out)
+        print(render_summary(trace), file=out)
+    return 0
+
+
+def _rewrite_trace_export(argv: List[str]) -> List[str]:
+    """``trace export FILE --format chrome`` → ``trace FILE --export chrome``.
+
+    The spelled-out form reads naturally but argparse subcommands do not
+    nest; rewriting keeps one parser for both spellings."""
+    try:
+        index = argv.index("trace")
+    except ValueError:
+        return argv
+    if argv[index + 1 : index + 2] != ["export"]:
+        return argv
+    rest = argv[index + 2 :]
+    fmt = "chrome"
+    kept: List[str] = []
+    skip = False
+    for pos, token in enumerate(rest):
+        if skip:
+            skip = False
+            continue
+        if token == "--format":
+            if pos + 1 < len(rest):
+                fmt = rest[pos + 1]
+                skip = True
+            continue
+        kept.append(token)
+    return [*argv[: index + 1], *kept, "--export", fmt]
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(_rewrite_trace_export(argv))
     try:
         if args.command == "query":
             return _cmd_query(args, out)
@@ -424,6 +519,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _cmd_bench(args, out)
         if args.command == "serve-metrics":
             return _cmd_serve_metrics(args, out)
+        if args.command == "trace":
+            return _cmd_trace(args, out)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

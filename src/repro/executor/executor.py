@@ -17,7 +17,7 @@ from ..errors import ExecutionError
 from ..expr.evaluator import Frame, evaluate, frame_length
 from ..expr.expressions import Expr, Literal
 from ..logical.blocks import ScalarSubquery
-from ..obs import NULL_REGISTRY, MetricsRegistry, OperatorStats
+from ..obs import NULL_REGISTRY, NULL_TRACER, MetricsRegistry, OperatorStats, Tracer
 from ..optimizer.cost import CostModel
 from ..optimizer.engine import PlanBundle, QueryPlan
 from ..optimizer.physical import (
@@ -95,10 +95,12 @@ class Executor:
         database: Database,
         cost_model: Optional[CostModel] = None,
         registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.database = database
         self.cost_model = cost_model or CostModel()
         self.registry = registry or NULL_REGISTRY
+        self.tracer = tracer or NULL_TRACER
 
     def execute(
         self,
@@ -119,16 +121,20 @@ class Executor:
             registry=self.registry,
             op_stats={} if collect_op_stats else None,
             token=token,
+            tracer=self.tracer,
         )
         executed_plans: Dict[str, PhysicalPlan] = {}
-        for cse_id, body in bundle.root_spools:
-            if cse_id not in ctx.spools:
-                ctx.spools[cse_id] = materialize_spool(cse_id, body, ctx)
         results: List[QueryResult] = []
-        for query_plan in bundle.queries:
-            result, plan = self._execute_query(query_plan, ctx)
-            results.append(result)
-            executed_plans[query_plan.name] = plan
+        with self.tracer.span(
+            "execute_batch", queries=len(bundle.queries), workers=1
+        ):
+            for cse_id, body in bundle.root_spools:
+                if cse_id not in ctx.spools:
+                    ctx.spools[cse_id] = materialize_spool(cse_id, body, ctx)
+            for query_plan in bundle.queries:
+                result, plan = self._execute_query(query_plan, ctx)
+                results.append(result)
+                executed_plans[query_plan.name] = plan
         wall = time.perf_counter() - start
         ctx.metrics.publish(self.registry)
         self.registry.timer_add("executor.wall", wall)
@@ -143,6 +149,12 @@ class Executor:
     # ------------------------------------------------------------------
 
     def _execute_query(
+        self, query_plan: QueryPlan, ctx: ExecutionContext
+    ) -> Tuple[QueryResult, PhysicalPlan]:
+        with ctx.tracer.span("query", name=query_plan.name):
+            return self._execute_query_inner(query_plan, ctx)
+
+    def _execute_query_inner(
         self, query_plan: QueryPlan, ctx: ExecutionContext
     ) -> Tuple[QueryResult, PhysicalPlan]:
         scalars: Dict[Expr, Expr] = {}

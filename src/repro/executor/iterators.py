@@ -55,22 +55,38 @@ def execute_node(plan: PhysicalPlan, ctx: ExecutionContext) -> Frame:
     if token is not None:
         token.check()
     ctx.metrics.operator_invocations += 1
-    if ctx.op_stats is None:
+    tracer = ctx.tracer
+    if ctx.op_stats is None and not tracer.enabled:
         frame = _dispatch(plan, ctx)
         if token is not None and token.charges_rows:
             token.charge_rows(frame_length(frame))
         return frame
     start = perf_counter()
-    frame = _dispatch(plan, ctx)
-    elapsed = perf_counter() - start
-    stats = ctx.stats_for(plan)
-    stats.invocations += 1
-    rows = frame_length(frame)
-    stats.rows_out += rows
-    stats.wall_time += elapsed
+    if tracer.enabled:
+        # One span per operator invocation; children nest via the
+        # tracer's per-thread stack, so the trace mirrors the plan tree.
+        with tracer.span(_op_span_name(plan)) as span:
+            frame = _dispatch(plan, ctx)
+            rows = frame_length(frame)
+            if span is not None:
+                span.attrs["rows"] = rows
+    else:
+        frame = _dispatch(plan, ctx)
+        rows = frame_length(frame)
+    if ctx.op_stats is not None:
+        elapsed = perf_counter() - start
+        stats = ctx.stats_for(plan)
+        stats.invocations += 1
+        stats.rows_out += rows
+        stats.wall_time += elapsed
     if token is not None and token.charges_rows:
         token.charge_rows(rows)
     return frame
+
+
+def _op_span_name(plan: PhysicalPlan) -> str:
+    """``PhysHashJoin`` → ``op:HashJoin`` (span names group by operator)."""
+    return "op:" + type(plan).__name__[4:]
 
 
 def _dispatch(plan: PhysicalPlan, ctx: ExecutionContext) -> Frame:
@@ -440,6 +456,7 @@ def _filter(plan: PhysFilter, ctx: ExecutionContext) -> Frame:
 
 
 def _spool_read(plan: PhysSpoolRead, ctx: ExecutionContext) -> Frame:
+    start = perf_counter()
     worktable = ctx.spool(plan.cse_id)
     frame: Frame = {}
     for name, expr in plan.column_map:
@@ -453,6 +470,17 @@ def _spool_read(plan: PhysSpoolRead, ctx: ExecutionContext) -> Frame:
     spool.rows_read += rows
     spool.read_row_counts.append(rows)
     spool.read_cost_units += read_cost
+    spool.read_wall_time += perf_counter() - start
+    if ctx.tracer.enabled:
+        # The producer→consumer edge: ``from_span`` is the materializing
+        # span's id (registered before the spool was published, so it is
+        # visible under the same happens-before edge as the worktable).
+        ctx.tracer.event(
+            "spool_flow",
+            spool=plan.cse_id,
+            from_span=ctx.spool_spans.get(plan.cse_id),
+            rows=rows,
+        )
     ctx.registry.observe("executor.spool_read_rows", rows)
     ctx.registry.observe(
         "executor.spool_read_bytes", rows * worktable.row_width()
@@ -464,6 +492,23 @@ def materialize_spool(
     cse_id: str, body: PhysicalPlan, ctx: ExecutionContext
 ) -> WorkTable:
     """Evaluate a spool body (a named projection) into a work table."""
+    tracer = ctx.tracer
+    if not tracer.enabled:
+        return _materialize_spool(cse_id, body, ctx)
+    with tracer.span("spool_materialize", spool=cse_id) as span:
+        # Register the span id before the worktable is published (our
+        # caller stores it into the shared ``spools`` dict after we
+        # return), so any consumer that can see the spool can also see
+        # its producing span — the flow edge is never dangling.
+        ctx.spool_spans[cse_id] = span.span_id
+        worktable = _materialize_spool(cse_id, body, ctx)
+        span.attrs["rows"] = worktable.row_count
+        return worktable
+
+
+def _materialize_spool(
+    cse_id: str, body: PhysicalPlan, ctx: ExecutionContext
+) -> WorkTable:
     if not isinstance(body, PhysProject):
         raise ExecutionError(
             f"spool body for {cse_id!r} must end in a projection"
@@ -481,6 +526,8 @@ def materialize_spool(
         names.append(out.name)
         types.append(out.expr.data_type)
         columns[out.name] = values
+    # Everything charged so far is body evaluation — the measured C_E.
+    body_cost = ctx.metrics.cost_units - cost_before
     worktable = WorkTable(cse_id, names, types)
     worktable.load(columns)
     if ctx.token is not None:
@@ -501,8 +548,11 @@ def materialize_spool(
     spool.writes += 1
     spool.rows_written += worktable.row_count
     # Measured "initial cost" per Definition 5.1: the body's evaluation
-    # cost units (everything charged while producing the frame) plus C_W.
+    # cost units (everything charged while producing the frame) plus C_W;
+    # ``body_cost_units`` keeps the C_E share so the sharing ledger can
+    # recompute the savings identity from measured terms.
     spool.write_cost_units += ctx.metrics.cost_units - cost_before
+    spool.body_cost_units += body_cost
     spool.materialize_wall_time += elapsed
     ctx.registry.observe("executor.spool_write_rows", worktable.row_count)
     ctx.registry.observe(

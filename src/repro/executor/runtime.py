@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional
 
-from ..obs import NULL_REGISTRY, MetricsRegistry, OperatorStats
+from ..obs import NULL_REGISTRY, NULL_TRACER, MetricsRegistry, OperatorStats, Tracer
 from ..optimizer.cost import CostModel
 from ..storage.database import Database
 from ..storage.worktable import WorkTable
@@ -47,8 +47,14 @@ class SpoolStats:
     #: every entry equals ``rows_written`` (producer rows == consumer rows).
     read_row_counts: List[int] = field(default_factory=list)
     write_cost_units: float = 0.0
+    #: the ``C_E`` share of ``write_cost_units`` — the body-evaluation
+    #: charge alone, before the write charge; the sharing ledger uses
+    #: the split to compute measured Def 5.1 savings.
+    body_cost_units: float = 0.0
     read_cost_units: float = 0.0
     materialize_wall_time: float = 0.0
+    #: cumulative wall time spent inside spool reads (all consumers).
+    read_wall_time: float = 0.0
 
     def merge(self, other: "SpoolStats") -> None:
         """Accumulate another spool's stats into this one."""
@@ -58,8 +64,10 @@ class SpoolStats:
         self.rows_read += other.rows_read
         self.read_row_counts.extend(other.read_row_counts)
         self.write_cost_units += other.write_cost_units
+        self.body_cost_units += other.body_cost_units
         self.read_cost_units += other.read_cost_units
         self.materialize_wall_time += other.materialize_wall_time
+        self.read_wall_time += other.read_wall_time
 
 
 @dataclass
@@ -135,6 +143,15 @@ class ExecutionContext:
     #: batch (:mod:`repro.serve.governor`); None disables the checks so an
     #: ungoverned run pays a single ``is None`` branch per operator.
     token: Optional["CancellationToken"] = None
+    #: trace sink; the disabled :data:`~repro.obs.NULL_TRACER` by default,
+    #: so uninstrumented runs pay one ``enabled`` check per operator.
+    tracer: Tracer = field(default_factory=lambda: NULL_TRACER)
+    #: ``cse_id -> span_id`` of each spool's materialization span. Shared
+    #: across a batch's contexts (like ``spools``) so consumer-side reads
+    #: can emit producer→consumer flow events; written before the spool
+    #: itself is published, so the same happens-before edge that makes
+    #: ``spools`` safe covers it.
+    spool_spans: Dict[str, int] = field(default_factory=dict)
 
     def stats_for(self, node: object) -> OperatorStats:
         """The (created-on-demand) stats slot for one plan node."""

@@ -27,8 +27,31 @@ from .metrics import (
     active_registry,
     use_registry,
 )
+from .chrome import render_chrome_trace, to_chrome_trace
+from .critical import (
+    CriticalPathReport,
+    analyze,
+    find_orphans,
+    load_trace,
+    operator_attribution,
+    render_critical_path,
+    render_summary,
+)
+from .ledger import (
+    SharingLedger,
+    SpoolLedgerEntry,
+    build_ledger,
+    estimated_ledger,
+)
 from .querylog import NULL_QUERY_LOG, QueryLog
-from .trace import NULL_TRACER, TraceEvent, Tracer
+from .trace import (
+    NULL_CONTEXT,
+    NULL_TRACER,
+    TRACE_HEADER_TYPE,
+    SpanContext,
+    TraceEvent,
+    Tracer,
+)
 
 __all__ = [
     "MetricsRegistry",
@@ -52,4 +75,20 @@ __all__ = [
     "Tracer",
     "TraceEvent",
     "NULL_TRACER",
+    "SpanContext",
+    "NULL_CONTEXT",
+    "TRACE_HEADER_TYPE",
+    "SharingLedger",
+    "SpoolLedgerEntry",
+    "build_ledger",
+    "estimated_ledger",
+    "CriticalPathReport",
+    "analyze",
+    "find_orphans",
+    "load_trace",
+    "operator_attribution",
+    "render_critical_path",
+    "render_summary",
+    "to_chrome_trace",
+    "render_chrome_trace",
 ]

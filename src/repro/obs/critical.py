@@ -1,0 +1,397 @@
+"""Critical-path analytics over completed JSONL traces.
+
+A trace produced by :class:`~repro.obs.trace.Tracer` during a batch
+execution contains, besides the optimizer's Figure-1 spans, one span per
+spool materialization (``spool_materialize``), one per query
+(``query``), one per operator invocation (``op:*``), and one
+``spool_flow`` point event per spool read carrying the producer's span id
+— together they encode the batch's producer/consumer DAG with measured
+durations. This module walks that structure and answers the questions an
+operator asks of a slow batch:
+
+* **Which chain of tasks bounded the batch wall time?** Classic
+  critical-path analysis (CPM) over the task DAG: earliest/latest finish
+  per task, the longest dependency chain, and per-task *slack* (how much
+  a task could slip without moving the batch's finish line). A shared
+  spool that pays for itself still serializes its consumers — this is
+  where that shows up.
+* **Where did the wall time go, per operator?** Self-time attribution:
+  each span's inclusive duration minus its children's, aggregated by
+  span name.
+
+Everything here is stdlib-only and reads plain dicts, so ``obs`` stays
+dependency-free within :mod:`repro`; the ``repro trace`` CLI renders the
+reports.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from .trace import TRACE_HEADER_TYPE
+
+#: Span names that define schedulable task nodes in the DAG.
+_TASK_SPANS = ("spool_materialize", "query")
+
+
+@dataclass
+class TraceData:
+    """A parsed trace: the optional header record plus event dicts."""
+
+    header: Optional[Dict[str, Any]]
+    events: List[Dict[str, Any]]
+
+
+def load_trace(path: str) -> TraceData:
+    """Parse a JSONL trace file (header record optional)."""
+    header: Optional[Dict[str, Any]] = None
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("type") == TRACE_HEADER_TYPE:
+                header = record
+            else:
+                events.append(record)
+    return TraceData(header=header, events=events)
+
+
+def _task_key(event: Dict[str, Any]) -> Optional[str]:
+    """The task-node key for a span event, if it is a task span."""
+    name = event.get("name")
+    attrs = event.get("attrs") or {}
+    if name == "spool_materialize" and "spool" in attrs:
+        return f"spool:{attrs['spool']}"
+    if name == "query" and "name" in attrs:
+        return f"query:{attrs['name']}"
+    return None
+
+
+@dataclass
+class TaskNode:
+    """One schedulable unit of the executed batch, with measured times."""
+
+    key: str
+    span_id: int
+    start: float
+    duration: float
+    deps: Set[str] = field(default_factory=set)
+    #: CPM results (filled by :func:`analyze`).
+    earliest_finish: float = 0.0
+    slack: float = 0.0
+    on_critical_path: bool = False
+
+
+@dataclass
+class CriticalPathReport:
+    """The task DAG with critical-path annotations."""
+
+    #: tasks in trace (start-time) order.
+    tasks: List[TaskNode]
+    #: task keys along the critical path, dependency order.
+    critical_path: List[str]
+    #: summed duration of the critical path.
+    path_seconds: float
+    #: duration of the batch root span, when the trace has one.
+    batch_seconds: Optional[float]
+    #: (producer key, consumer key) flow edges observed at run time.
+    flow_edges: List[Tuple[str, str]]
+
+    def task(self, key: str) -> TaskNode:
+        """One task node by key (KeyError if absent)."""
+        for node in self.tasks:
+            if node.key == key:
+                return node
+        raise KeyError(key)
+
+
+def _parent_chain_task(
+    event: Dict[str, Any],
+    by_id: Dict[int, Dict[str, Any]],
+    task_by_span: Dict[int, str],
+) -> Optional[str]:
+    """The nearest enclosing task span's key for an event."""
+    parent = event.get("parent_id")
+    while parent is not None:
+        if parent in task_by_span:
+            return task_by_span[parent]
+        node = by_id.get(parent)
+        if node is None:
+            return None
+        parent = node.get("parent_id")
+    return None
+
+
+def find_roots(events: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Events with no parent — the trace's root spans/events."""
+    return [e for e in events if e.get("parent_id") is None]
+
+
+def find_orphans(
+    events: List[Dict[str, Any]], root_span_id: int
+) -> List[Dict[str, Any]]:
+    """Events *not* reachable from ``root_span_id`` via parent links.
+
+    The trace-propagation invariant for one traced batch is that this is
+    empty: every span a worker thread emits must chain up to the batch
+    root."""
+    by_id = {e["span_id"]: e for e in events}
+    orphans: List[Dict[str, Any]] = []
+    for event in events:
+        node: Optional[Dict[str, Any]] = event
+        while node is not None and node["span_id"] != root_span_id:
+            parent = node.get("parent_id")
+            node = by_id.get(parent) if parent is not None else None
+        if node is None:
+            orphans.append(event)
+    return orphans
+
+
+def analyze(events: List[Dict[str, Any]]) -> CriticalPathReport:
+    """Build the task DAG from a trace and run critical-path analysis.
+
+    Dependencies come from the run-time ``spool_flow`` events (one per
+    spool read, carrying the producer's span id), so the analyzed DAG is
+    the *observed* producer/consumer structure, not a plan-time guess."""
+    by_id = {e["span_id"]: e for e in events}
+    task_by_span: Dict[int, str] = {}
+    nodes: Dict[str, TaskNode] = {}
+    for event in events:
+        key = _task_key(event)
+        if key is None or "duration" not in event:
+            continue
+        task_by_span[event["span_id"]] = key
+        node = nodes.get(key)
+        if node is None:
+            nodes[key] = TaskNode(
+                key=key,
+                span_id=event["span_id"],
+                start=event["start"],
+                duration=event["duration"],
+            )
+        else:
+            # A re-materialized spool (should not happen) or a re-run
+            # query: accumulate so nothing is silently dropped.
+            node.duration += event["duration"]
+
+    flow_edges: List[Tuple[str, str]] = []
+    for event in events:
+        if event.get("name") != "spool_flow":
+            continue
+        attrs = event.get("attrs") or {}
+        producer_span = attrs.get("from_span")
+        producer = task_by_span.get(producer_span)
+        consumer = _parent_chain_task(event, by_id, task_by_span)
+        if producer is None or consumer is None or producer == consumer:
+            continue
+        flow_edges.append((producer, consumer))
+        nodes[consumer].deps.add(producer)
+
+    ordered = sorted(nodes.values(), key=lambda n: (n.start, n.key))
+
+    # Forward pass: earliest finish (longest dependency chain into each).
+    finish: Dict[str, float] = {}
+
+    def earliest_finish(node: TaskNode) -> float:
+        cached = finish.get(node.key)
+        if cached is not None:
+            return cached
+        upstream = max(
+            (earliest_finish(nodes[d]) for d in node.deps if d in nodes),
+            default=0.0,
+        )
+        finish[node.key] = upstream + node.duration
+        return finish[node.key]
+
+    path_seconds = 0.0
+    for node in ordered:
+        node.earliest_finish = earliest_finish(node)
+        path_seconds = max(path_seconds, node.earliest_finish)
+
+    # Backward pass: latest finish without delaying the batch → slack.
+    consumers: Dict[str, List[str]] = {}
+    for node in ordered:
+        for dep in node.deps:
+            consumers.setdefault(dep, []).append(node.key)
+    latest: Dict[str, float] = {}
+
+    def latest_finish(node: TaskNode) -> float:
+        cached = latest.get(node.key)
+        if cached is not None:
+            return cached
+        downstream = [
+            latest_finish(nodes[c]) - nodes[c].duration
+            for c in consumers.get(node.key, ())
+        ]
+        latest[node.key] = min(downstream) if downstream else path_seconds
+        return latest[node.key]
+
+    for node in ordered:
+        node.slack = latest_finish(node) - node.earliest_finish
+
+    # The critical path: zero-slack chain, walked producer-first from the
+    # task whose earliest finish equals the path length.
+    critical: List[str] = []
+    if ordered:
+        tail = max(ordered, key=lambda n: (n.earliest_finish, -n.start))
+        cursor: Optional[TaskNode] = tail
+        while cursor is not None:
+            critical.append(cursor.key)
+            cursor.on_critical_path = True
+            deps = [nodes[d] for d in cursor.deps if d in nodes]
+            cursor = (
+                max(deps, key=lambda n: n.earliest_finish) if deps else None
+            )
+        critical.reverse()
+
+    batch_seconds: Optional[float] = None
+    for event in events:
+        if event.get("name") in ("batch", "execute_batch") and (
+            "duration" in event
+        ):
+            batch_seconds = event["duration"]
+            if event.get("name") == "batch":
+                break
+
+    return CriticalPathReport(
+        tasks=ordered,
+        critical_path=critical,
+        path_seconds=path_seconds,
+        batch_seconds=batch_seconds,
+        flow_edges=flow_edges,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Per-operator wall-time attribution
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SpanAggregate:
+    """Inclusive/self wall time for all spans sharing one name."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    self_time: float = 0.0
+
+
+def operator_attribution(
+    events: List[Dict[str, Any]],
+) -> List[SpanAggregate]:
+    """Aggregate span self-time by name, descending.
+
+    Self time is a span's inclusive duration minus its direct children's
+    inclusive durations — the wall time attributable to the operator
+    itself rather than its inputs."""
+    child_time: Dict[int, float] = {}
+    for event in events:
+        parent = event.get("parent_id")
+        if parent is not None and "duration" in event:
+            child_time[parent] = child_time.get(parent, 0.0) + event["duration"]
+    aggregates: Dict[str, SpanAggregate] = {}
+    for event in events:
+        if "duration" not in event:
+            continue
+        slot = aggregates.get(event["name"])
+        if slot is None:
+            slot = aggregates[event["name"]] = SpanAggregate(event["name"])
+        slot.count += 1
+        slot.total += event["duration"]
+        slot.self_time += max(
+            0.0, event["duration"] - child_time.get(event["span_id"], 0.0)
+        )
+    return sorted(
+        aggregates.values(), key=lambda a: (-a.self_time, a.name)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Rendering (the `repro trace` CLI)
+# ---------------------------------------------------------------------------
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1000.0:.2f}ms"
+
+
+def render_critical_path(report: CriticalPathReport) -> str:
+    """The critical-path report as text."""
+    lines: List[str] = []
+    if not report.tasks:
+        return "no task spans in trace (nothing to analyze)"
+    wall = (
+        f" of {_ms(report.batch_seconds)} batch wall"
+        if report.batch_seconds is not None
+        else ""
+    )
+    lines.append(
+        f"Critical path ({len(report.critical_path)} task(s), "
+        f"{_ms(report.path_seconds)}{wall}):"
+    )
+    for key in report.critical_path:
+        lines.append(f"  * {key}  {_ms(report.task(key).duration)}")
+    lines.append("")
+    lines.append("Per-task slack:")
+    width = max(len(node.key) for node in report.tasks)
+    for node in report.tasks:
+        deps = ", ".join(sorted(node.deps)) if node.deps else "-"
+        marker = "*" if node.on_critical_path else " "
+        lines.append(
+            f"  {marker} {node.key:<{width}}  dur {_ms(node.duration):>9}  "
+            f"slack {_ms(node.slack):>9}  deps [{deps}]"
+        )
+    return "\n".join(lines)
+
+
+def render_summary(
+    trace: TraceData, top: int = 12
+) -> str:
+    """Trace overview: volume, threads, flows, operator attribution."""
+    events = trace.events
+    spans = [e for e in events if "duration" in e]
+    threads = sorted(
+        {e.get("thread") for e in events if e.get("thread") is not None}
+    )
+    lines = [
+        (
+            f"Trace summary: {len(events)} event(s), {len(spans)} span(s), "
+            f"{len(threads)} thread(s)"
+        )
+    ]
+    if trace.header is not None:
+        lines.append(
+            f"  base wall time {trace.header.get('wall_time_unix')} "
+            f"(perf_counter epoch {trace.header.get('perf_counter_epoch')})"
+        )
+    report = analyze(events)
+    if report.batch_seconds is not None:
+        lines.append(f"  batch wall {_ms(report.batch_seconds)}")
+    if report.flow_edges:
+        unique = sorted(set(report.flow_edges))
+        rendered = ", ".join(f"{p} -> {c}" for p, c in unique)
+        lines.append(
+            f"  spool flows ({len(report.flow_edges)} read(s)): {rendered}"
+        )
+    attribution = operator_attribution(events)
+    if attribution:
+        lines.append("")
+        lines.append("Span self-time attribution:")
+        width = max(len(a.name) for a in attribution[:top])
+        lines.append(
+            f"  {'name':<{width}}  {'count':>5}  {'total':>10}  {'self':>10}"
+        )
+        for agg in attribution[:top]:
+            lines.append(
+                f"  {agg.name:<{width}}  {agg.count:>5}  "
+                f"{_ms(agg.total):>10}  {_ms(agg.self_time):>10}"
+            )
+        if len(attribution) > top:
+            lines.append(f"  ... {len(attribution) - top} more span name(s)")
+    return "\n".join(lines)

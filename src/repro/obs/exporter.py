@@ -87,10 +87,18 @@ def render_prometheus(registry: MetricsRegistry) -> str:
         family(metric, "counter", f"repro counter {name}")
         lines.append(f"{metric} {_fmt(counters[name])}")
 
-    for name in sorted(gauges):
-        metric = sanitize_metric_name(name)
-        family(metric, "gauge", f"repro gauge {name}")
-        lines.append(f"{metric} {_fmt(gauges[name])}")
+    # Gauges may be labeled series (stored as ``name{k="v",…}`` keys);
+    # group them under their family so each gets one HELP/TYPE header.
+    gauge_families: Dict[str, List[Tuple[str, float]]] = {}
+    for key in sorted(gauges):
+        base, label_text = split_series_key(key)
+        gauge_families.setdefault(base, []).append((label_text, gauges[key]))
+    for base in sorted(gauge_families):
+        metric = sanitize_metric_name(base)
+        family(metric, "gauge", f"repro gauge {base}")
+        for label_text, value in gauge_families[base]:
+            suffix = "{" + label_text + "}" if label_text else ""
+            lines.append(f"{metric}{suffix} {_fmt(value)}")
 
     for name in sorted(timers):
         metric = sanitize_metric_name(name) + "_seconds"

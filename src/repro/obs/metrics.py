@@ -157,12 +157,22 @@ class MetricsRegistry:
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + delta
 
-    def gauge(self, name: str, value: float) -> None:
-        """Set gauge ``name`` to ``value`` (no-op when disabled)."""
+    def gauge(
+        self,
+        name: str,
+        value: float,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """Set gauge ``name`` to ``value`` (no-op when disabled).
+
+        ``labels`` tags the series (e.g. ``{"spool": "E1"}``): each
+        distinct label set is its own last-write-wins slot, and the
+        Prometheus exporter renders the labels onto the sample."""
         if not self.enabled:
             return
+        key = series_key(name, labels)
         with self._lock:
-            self._gauges[name] = value
+            self._gauges[key] = value
 
     def timer(self, name: str):
         """A context manager timing one observation of ``name``."""
@@ -213,12 +223,18 @@ class MetricsRegistry:
 
     # -- readers -----------------------------------------------------------
 
-    def get(self, name: str, default: float = 0.0) -> float:
+    def get(
+        self,
+        name: str,
+        default: float = 0.0,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> float:
         """A counter or gauge value by name (``default`` when absent)."""
+        key = series_key(name, labels)
         with self._lock:
-            if name in self._counters:
-                return self._counters[name]
-            return self._gauges.get(name, default)
+            if key in self._counters:
+                return self._counters[key]
+            return self._gauges.get(key, default)
 
     def timer_total(self, name: str) -> float:
         """Total seconds recorded for timer ``name`` (0 when absent)."""

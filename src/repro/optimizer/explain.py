@@ -289,7 +289,17 @@ def explain_analyze(
     else:
         executor = Executor(database, cost_model, registry=registry)
     execution = executor.execute(bundle, collect_op_stats=True)
-    return render_analyzed_bundle(database, result, execution, cost_model)
+    from ..obs import build_ledger
+    from ..serve.schedule import query_spool_read_counts
+
+    ledger = build_ledger(
+        result.candidates,
+        execution.metrics.spool_stats,
+        query_spool_read_counts(bundle),
+    )
+    return render_analyzed_bundle(
+        database, result, execution, cost_model, ledger=ledger
+    )
 
 
 def render_analyzed_bundle(
@@ -297,6 +307,7 @@ def render_analyzed_bundle(
     result: OptimizationResult,
     execution,
     cost_model: Optional[CostModel] = None,
+    ledger=None,
 ) -> str:
     """The EXPLAIN ANALYZE report for a bundle that *already executed*
     (with ``collect_op_stats=True``). This is the slow-query-log path: the
@@ -332,6 +343,11 @@ def render_analyzed_bundle(
     if attribution:
         parts.append("")
         parts.extend(attribution)
+    if ledger is not None and ledger.spools:
+        # The sharing-economics ledger, rendered from the same rounded
+        # payload the query log and ledger.* gauges carry.
+        parts.append("")
+        parts.append(ledger.render())
     parts.append("")
     parts.extend(_optimizer_counters(result))
     metrics = execution.metrics

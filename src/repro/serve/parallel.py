@@ -29,13 +29,14 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from dataclasses import replace
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import ExecutionError, QueryCancelledError
 from ..executor.executor import BatchResult, Executor, QueryResult
 from ..executor.iterators import materialize_spool
 from ..executor.runtime import ExecutionContext, ExecutionMetrics
-from ..obs import MetricsRegistry, OperatorStats
+from ..obs import MetricsRegistry, OperatorStats, SpanContext, Tracer
 from ..optimizer.cost import CostModel
 from ..optimizer.engine import PlanBundle
 from ..optimizer.physical import PhysicalPlan
@@ -72,8 +73,9 @@ class ParallelExecutor(Executor):
         cost_model: Optional[CostModel] = None,
         registry: Optional[MetricsRegistry] = None,
         workers: int = 2,
+        tracer: Optional[Tracer] = None,
     ) -> None:
-        super().__init__(database, cost_model, registry=registry)
+        super().__init__(database, cost_model, registry=registry, tracer=tracer)
         if workers < 1:
             raise ExecutionError("workers must be positive")
         self.workers = workers
@@ -102,9 +104,28 @@ class ParallelExecutor(Executor):
         if token is None:
             token = CancellationToken()
         spools: Dict[str, WorkTable] = {}
-        outcomes = self._run_schedule(
-            schedule, bundle, spool_bodies, spools, collect_op_stats, token
-        )
+        # Producer span ids, shared batch-wide like ``spools`` (written by
+        # a spool task before its consumers are submitted).
+        spool_spans: Dict[str, int] = {}
+        with self.tracer.span(
+            "execute_batch",
+            queries=len(bundle.queries),
+            workers=self.workers,
+        ):
+            # The batch span, captured while open: every task stamps it
+            # into its spec and re-attaches it on the worker thread, so no
+            # worker-side span is orphaned from the batch root.
+            batch_context = self.tracer.current_context()
+            outcomes = self._run_schedule(
+                schedule,
+                bundle,
+                spool_bodies,
+                spools,
+                spool_spans,
+                collect_op_stats,
+                token,
+                batch_context,
+            )
         metrics = ExecutionMetrics()
         op_stats: Optional[Dict[int, OperatorStats]] = (
             {} if collect_op_stats else None
@@ -142,6 +163,7 @@ class ParallelExecutor(Executor):
     def _task_context(
         self,
         spools: Dict[str, WorkTable],
+        spool_spans: Dict[str, int],
         collect_op_stats: bool,
         token: Optional[CancellationToken] = None,
     ) -> ExecutionContext:
@@ -150,8 +172,10 @@ class ParallelExecutor(Executor):
             cost_model=self.cost_model,
             registry=self.registry,
             spools=spools,
+            spool_spans=spool_spans,
             op_stats={} if collect_op_stats else None,
             token=token,
+            tracer=self.tracer,
         )
 
     def _run_task(
@@ -160,29 +184,23 @@ class ParallelExecutor(Executor):
         bundle: PlanBundle,
         spool_bodies: Dict[str, PhysicalPlan],
         spools: Dict[str, WorkTable],
+        spool_spans: Dict[str, int],
         collect_op_stats: bool,
         token: Optional[CancellationToken],
     ) -> _TaskOutcome:
-        ctx = self._task_context(spools, collect_op_stats, token)
+        ctx = self._task_context(spools, spool_spans, collect_op_stats, token)
         start = time.perf_counter()
         outcome = "ok"
         try:
-            if task.kind == "spool":
-                body = spool_bodies[task.label]
-                if task.label not in spools:
-                    worktable = materialize_spool(task.label, body, ctx)
-                    # Publishing the finished table is the consumers' latch:
-                    # their tasks are only submitted after this one
-                    # completes — and it happens only after every budget
-                    # charge passed, so a cancelled task never leaves a
-                    # partial spool in the shared map.
-                    spools[task.label] = worktable
-                return _TaskOutcome(ctx.metrics, ctx.op_stats)
-            query_plan = next(
-                q for q in bundle.queries if q.name == task.label
-            )
-            result, plan = self._execute_query(query_plan, ctx)
-            return _TaskOutcome(ctx.metrics, ctx.op_stats, result, plan)
+            # Re-establish the batch span on this worker thread, then open
+            # the task's own span under it: all the executor spans below
+            # (spool_materialize / query / op:*) chain up to the batch root.
+            with self.tracer.attach(task.span_context), self.tracer.span(
+                "task", kind=task.kind, label=task.label
+            ):
+                return self._run_task_body(
+                    task, bundle, spool_bodies, spools, ctx
+                )
         except QueryCancelledError:
             outcome = "cancelled"
             raise
@@ -199,14 +217,41 @@ class ParallelExecutor(Executor):
                 labels={"outcome": outcome},
             )
 
+    def _run_task_body(
+        self,
+        task: TaskSpec,
+        bundle: PlanBundle,
+        spool_bodies: Dict[str, PhysicalPlan],
+        spools: Dict[str, WorkTable],
+        ctx: ExecutionContext,
+    ) -> _TaskOutcome:
+        if task.kind == "spool":
+            body = spool_bodies[task.label]
+            if task.label not in spools:
+                worktable = materialize_spool(task.label, body, ctx)
+                # Publishing the finished table is the consumers' latch:
+                # their tasks are only submitted after this one
+                # completes — and it happens only after every budget
+                # charge passed, so a cancelled task never leaves a
+                # partial spool in the shared map.
+                spools[task.label] = worktable
+            return _TaskOutcome(ctx.metrics, ctx.op_stats)
+        query_plan = next(
+            q for q in bundle.queries if q.name == task.label
+        )
+        result, plan = self._execute_query(query_plan, ctx)
+        return _TaskOutcome(ctx.metrics, ctx.op_stats, result, plan)
+
     def _run_schedule(
         self,
         schedule: Schedule,
         bundle: PlanBundle,
         spool_bodies: Dict[str, PhysicalPlan],
         spools: Dict[str, WorkTable],
+        spool_spans: Dict[str, int],
         collect_op_stats: bool,
         token: CancellationToken,
+        batch_context: Optional[SpanContext] = None,
     ) -> Dict[int, _TaskOutcome]:
         """Topological wave scheduling with bounded workers."""
         outcomes: Dict[int, _TaskOutcome] = {}
@@ -217,16 +262,24 @@ class ParallelExecutor(Executor):
                 dependents.setdefault(dep, []).append(task)
         by_index = {task.index: task for task in schedule.tasks}
         failure: Optional[BaseException] = None
-        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+        with ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-worker"
+        ) as pool:
             running: Dict[Future, int] = {}
 
             def submit(task: TaskSpec) -> None:
+                # Stamp the batch span into the spec at submit time: the
+                # worker thread re-attaches it (Tracer.attach) so its
+                # spans join the batch root's tree.
+                if batch_context is not None:
+                    task = replace(task, span_context=batch_context)
                 future = pool.submit(
                     self._run_task,
                     task,
                     bundle,
                     spool_bodies,
                     spools,
+                    spool_spans,
                     collect_op_stats,
                     token,
                 )

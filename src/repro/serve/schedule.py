@@ -18,8 +18,9 @@ whose consumers span queries is always lifted to the bundle root.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
+from ..obs import SpanContext
 from ..optimizer.engine import PlanBundle, QueryPlan
 from ..optimizer.physical import PhysicalPlan, PhysSpoolRead
 
@@ -33,6 +34,11 @@ class TaskSpec:
     label: str  # cse id or query name
     #: indices of tasks that must complete before this one starts.
     deps: Tuple[int, ...] = ()
+    #: the trace context the task should run under — the scheduling
+    #: thread's batch span, stamped at submit time so worker-thread spans
+    #: parent under the batch root instead of being orphaned (the
+    #: cross-thread half lives in :meth:`repro.obs.Tracer.attach`).
+    span_context: Optional[SpanContext] = None
 
 
 @dataclass
@@ -80,6 +86,26 @@ def _query_reads(query: QueryPlan) -> Set[str]:
     for sub_plan in query.subquery_plans.values():
         reads |= _spool_reads(sub_plan)
     return reads
+
+
+def query_spool_read_counts(
+    bundle: PlanBundle,
+) -> Dict[str, Dict[str, int]]:
+    """Per-query spool read counts: ``query name -> cse id -> reads``.
+
+    Counts every :class:`PhysSpoolRead` in each query's plan and scalar
+    subplans (root spools and inline definitions alike) — the planned
+    consumer structure the sharing ledger attributes savings over."""
+    counts: Dict[str, Dict[str, int]] = {}
+    for query in bundle.queries:
+        reads: Dict[str, int] = {}
+        plans = [query.plan, *query.subquery_plans.values()]
+        for plan in plans:
+            for node in plan.walk():
+                if isinstance(node, PhysSpoolRead):
+                    reads[node.cse_id] = reads.get(node.cse_id, 0) + 1
+        counts[query.name] = reads
+    return counts
 
 
 def build_schedule(bundle: PlanBundle) -> Schedule:

@@ -1,0 +1,229 @@
+"""Unit tests for the critical-path analyzer and the Chrome exporter,
+over hand-built traces with known CPM answers."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    analyze,
+    find_orphans,
+    load_trace,
+    operator_attribution,
+    render_chrome_trace,
+    render_critical_path,
+    render_summary,
+    to_chrome_trace,
+)
+from repro.obs.critical import TraceData, find_roots
+
+
+def _span(name, span_id, parent, start, duration, /, thread="MainThread",
+          **attrs):
+    event = {
+        "name": name,
+        "span_id": span_id,
+        "parent_id": parent,
+        "start": start,
+        "duration": duration,
+        "thread": thread,
+    }
+    if attrs:
+        event["attrs"] = attrs
+    return event
+
+
+def _point(name, span_id, parent, start, /, thread="MainThread", **attrs):
+    event = {
+        "name": name,
+        "span_id": span_id,
+        "parent_id": parent,
+        "start": start,
+        "thread": thread,
+    }
+    if attrs:
+        event["attrs"] = attrs
+    return event
+
+
+@pytest.fixture()
+def diamond_trace():
+    """batch → spool E1 (2s) feeding QA (1s) and QB (3s).
+
+    Earliest finishes: E1=2, QA=3, QB=5 → critical path E1→QB (5s);
+    QA has 2s of slack.
+    """
+    return [
+        _span("batch", 1, None, 0.0, 5.2),
+        _span("spool_materialize", 2, 1, 0.0, 2.0, spool="E1"),
+        _span("query", 3, 1, 2.0, 1.0, thread="repro-worker_0", name="QA"),
+        _point("spool_flow", 4, 3, 2.1, thread="repro-worker_0",
+               spool="E1", from_span=2, rows=10),
+        _span("query", 5, 1, 2.0, 3.0, thread="repro-worker_1", name="QB"),
+        _point("spool_flow", 6, 5, 2.2, thread="repro-worker_1",
+               spool="E1", from_span=2, rows=10),
+    ]
+
+
+class TestAnalyze:
+    def test_critical_path_and_slack(self, diamond_trace):
+        report = analyze(diamond_trace)
+        assert report.critical_path == ["spool:E1", "query:QB"]
+        assert report.path_seconds == pytest.approx(5.0)
+        assert report.batch_seconds == pytest.approx(5.2)
+        assert report.task("query:QA").slack == pytest.approx(2.0)
+        assert report.task("query:QB").slack == pytest.approx(0.0)
+        assert report.task("spool:E1").slack == pytest.approx(0.0)
+        assert report.task("spool:E1").on_critical_path
+        assert not report.task("query:QA").on_critical_path
+
+    def test_flow_edges_are_per_read(self, diamond_trace):
+        report = analyze(diamond_trace)
+        assert sorted(report.flow_edges) == [
+            ("spool:E1", "query:QA"),
+            ("spool:E1", "query:QB"),
+        ]
+        assert report.task("query:QA").deps == {"spool:E1"}
+
+    def test_flow_event_finds_consumer_through_nested_spans(self):
+        # The spool read happens inside an op:* span inside the query
+        # span; the consumer is found by walking the parent chain.
+        events = [
+            _span("spool_materialize", 1, None, 0.0, 1.0, spool="E1"),
+            _span("query", 2, None, 1.0, 1.0, name="Q"),
+            _span("op:HashJoin", 3, 2, 1.0, 0.5),
+            _point("spool_flow", 4, 3, 1.1, spool="E1", from_span=1),
+        ]
+        report = analyze(events)
+        assert report.flow_edges == [("spool:E1", "query:Q")]
+
+    def test_empty_trace(self):
+        report = analyze([])
+        assert report.tasks == []
+        assert report.critical_path == []
+        assert "nothing to analyze" in render_critical_path(report)
+
+
+class TestOrphans:
+    def test_detached_span_is_an_orphan(self, diamond_trace):
+        stray = _span("query", 99, 98, 0.0, 1.0, name="stray")
+        events = diamond_trace + [stray]
+        orphans = find_orphans(events, root_span_id=1)
+        assert orphans == [stray]
+        assert find_orphans(diamond_trace, root_span_id=1) == []
+
+    def test_roots(self, diamond_trace):
+        assert [e["span_id"] for e in find_roots(diamond_trace)] == [1]
+
+
+class TestAttribution:
+    def test_self_time_subtracts_children(self):
+        events = [
+            _span("query", 1, None, 0.0, 4.0, name="Q"),
+            _span("op:Scan", 2, 1, 0.0, 1.5),
+            _span("op:Scan", 3, 1, 1.5, 1.5),
+        ]
+        by_name = {a.name: a for a in operator_attribution(events)}
+        assert by_name["query"].self_time == pytest.approx(1.0)
+        assert by_name["query"].total == pytest.approx(4.0)
+        assert by_name["op:Scan"].count == 2
+        assert by_name["op:Scan"].self_time == pytest.approx(3.0)
+
+    def test_sorted_by_self_time_descending(self):
+        events = [
+            _span("slow", 1, None, 0.0, 5.0),
+            _span("fast", 2, None, 0.0, 1.0),
+        ]
+        assert [a.name for a in operator_attribution(events)] == [
+            "slow", "fast",
+        ]
+
+
+class TestRendering:
+    def test_critical_path_report_text(self, diamond_trace):
+        text = render_critical_path(analyze(diamond_trace))
+        assert "Critical path (2 task(s), 5000.00ms of 5200.00ms batch" in text
+        assert "* spool:E1" in text
+        assert "deps [spool:E1]" in text
+
+    def test_summary_text(self, diamond_trace):
+        trace = TraceData(header=None, events=diamond_trace)
+        text = render_summary(trace)
+        assert "6 event(s), 4 span(s), 3 thread(s)" in text
+        assert "spool:E1 -> query:QB" in text
+        assert "Span self-time attribution:" in text
+
+
+class TestChromeExport:
+    def test_slices_instants_lanes_and_flows(self, diamond_trace):
+        header = {"type": "trace_header", "version": 1, "pid": 42,
+                  "wall_time_unix": 1.0, "perf_counter_epoch": 2.0}
+        payload = to_chrome_trace(diamond_trace, header)
+        events = payload["traceEvents"]
+        by_ph = {}
+        for event in events:
+            by_ph.setdefault(event["ph"], []).append(event)
+        # 1 process_name + 3 thread lanes; 4 slices; 2 instants; 2 flows.
+        assert len(by_ph["M"]) == 4
+        assert len(by_ph["X"]) == 4
+        assert len(by_ph["i"]) == 2
+        assert len(by_ph["s"]) == len(by_ph["f"]) == 2
+        assert all(e["pid"] == 42 for e in events)
+        lanes = {
+            e["args"]["name"]: e["tid"]
+            for e in by_ph["M"]
+            if e["name"] == "thread_name"
+        }
+        assert lanes["MainThread"] == 1  # first speaker claims lane 1
+        assert set(lanes) == {
+            "MainThread", "repro-worker_0", "repro-worker_1",
+        }
+        assert payload["otherData"] == {
+            "version": 1, "pid": 42, "wall_time_unix": 1.0,
+            "perf_counter_epoch": 2.0,
+        }
+
+    def test_flow_arrow_spans_producer_to_consumer_lane(self, diamond_trace):
+        payload = to_chrome_trace(diamond_trace)
+        flows = [e for e in payload["traceEvents"] if e["ph"] in ("s", "f")]
+        by_id = {}
+        for event in flows:
+            by_id.setdefault(event["id"], {})[event["ph"]] = event
+        for pair in by_id.values():
+            start, finish = pair["s"], pair["f"]
+            assert start["name"] == finish["name"] == "spool E1"
+            # Leaves the producer slice's end on the producer's lane.
+            assert start["tid"] == 1
+            assert start["ts"] == pytest.approx(2.0 * 1e6)
+            assert finish["bp"] == "e"
+            assert finish["tid"] in (2, 3)
+            assert finish["ts"] > start["ts"]
+
+    def test_render_round_trips_as_json(self, diamond_trace):
+        parsed = json.loads(render_chrome_trace(diamond_trace))
+        assert parsed["displayTimeUnit"] == "ms"
+        assert "otherData" not in parsed
+
+
+class TestLoadTrace:
+    def test_header_and_events_split(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        lines = [
+            json.dumps({"type": "trace_header", "version": 1}),
+            json.dumps(_span("batch", 1, None, 0.0, 1.0)),
+            "",
+            json.dumps(_point("mark", 2, 1, 0.5)),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        trace = load_trace(str(path))
+        assert trace.header == {"type": "trace_header", "version": 1}
+        assert [e["name"] for e in trace.events] == ["batch", "mark"]
+
+    def test_headerless_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(json.dumps(_span("batch", 1, None, 0.0, 1.0)) + "\n")
+        trace = load_trace(str(path))
+        assert trace.header is None
+        assert len(trace.events) == 1

@@ -288,6 +288,7 @@ class TestCancellationPropagation:
                 result.bundle,
                 dict(result.bundle.root_spools),
                 spools,
+                {},
                 False,
                 token,
             )

@@ -7,7 +7,13 @@ import threading
 import pytest
 
 from repro import MetricsRegistry, Session, Tracer
-from repro.obs import NULL_REGISTRY, NULL_TRACER, active_registry, use_registry
+from repro.obs import (
+    NULL_REGISTRY,
+    NULL_TRACER,
+    TRACE_HEADER_TYPE,
+    active_registry,
+    use_registry,
+)
 from repro.workloads import example1_batch
 
 
@@ -98,7 +104,13 @@ class TestTracer:
         assert "duration" not in by_name["point"]
         path = tmp_path / "trace.jsonl"
         assert tracer.write(str(path)) == 3
-        assert len(path.read_text().splitlines()) == 3
+        written = path.read_text().splitlines()
+        # header record + the three events
+        assert len(written) == 4
+        header = json.loads(written[0])
+        assert header["type"] == TRACE_HEADER_TYPE
+        assert header["version"] == 1
+        assert "wall_time_unix" in header and "perf_counter_epoch" in header
 
     def test_disabled_tracer(self):
         with NULL_TRACER.span("x") as span:

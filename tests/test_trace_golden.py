@@ -1,0 +1,91 @@
+"""Golden-snapshot tests for ``repro trace --critical-path --summary``.
+
+A deterministic trace is produced by executing a two-consumer-spool
+batch (Example 1's Q1+Q2) serially with an injected counting clock, so
+every span duration is an exact event count, not wall time. The only
+volatile field — the header's wall-clock base timestamp — is normalized;
+everything else (task keys, dependency edges, slack, span counts,
+self-time attribution) must match the snapshot exactly.
+
+Regenerate after an intentional change with::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_trace_golden.py
+"""
+
+from __future__ import annotations
+
+import io
+import itertools
+import os
+import re
+from pathlib import Path
+
+import pytest
+
+from repro import OptimizerOptions, Session, Tracer
+from repro.cli import main
+from repro.workloads import EXAMPLE1_QUERIES
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Q1 and Q2 share one customer⋈orders⋈lineitem spool → two consumers.
+TWO_CONSUMER_BATCH = ";\n".join(q.strip() for q in EXAMPLE1_QUERIES[:2])
+
+
+def _normalize(text: str) -> str:
+    """Blank the wall-clock base timestamp; keep everything else."""
+    return re.sub(
+        r"base wall time \S+ ", "base wall time ? ", text
+    )
+
+
+def _check(name: str, rendered: str) -> None:
+    got = _normalize(rendered).rstrip("\n")
+    path = GOLDEN_DIR / f"{name}.txt"
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        path.write_text(got + "\n")
+        return
+    assert path.exists(), (
+        f"missing golden snapshot {path}; regenerate with "
+        f"REPRO_UPDATE_GOLDEN=1"
+    )
+    want = path.read_text().rstrip("\n")
+    assert got == want, (
+        f"{name} drifted from its golden snapshot; if intentional, "
+        f"regenerate with REPRO_UPDATE_GOLDEN=1"
+    )
+
+
+@pytest.fixture(scope="module")
+def trace_file(small_db, tmp_path_factory):
+    """One deterministic trace of the two-consumer batch."""
+    counter = itertools.count()
+    tracer = Tracer(clock=lambda: float(next(counter)))
+    session = Session(small_db, OptimizerOptions(), tracer=tracer)
+    session.execute(TWO_CONSUMER_BATCH)
+    path = tmp_path_factory.mktemp("trace") / "trace.jsonl"
+    tracer.write(str(path))
+    return str(path)
+
+
+def _run_trace_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    assert code == 0
+    return out.getvalue()
+
+
+def test_trace_critical_path_golden(trace_file):
+    output = _run_trace_cli("trace", trace_file, "--critical-path")
+    _check("trace_critical_path", output)
+
+
+def test_trace_summary_golden(trace_file):
+    output = _run_trace_cli("trace", trace_file, "--summary")
+    _check("trace_summary", output)
+
+
+def test_summary_is_the_default_view(trace_file):
+    assert _run_trace_cli("trace", trace_file) == _run_trace_cli(
+        "trace", trace_file, "--summary"
+    )
