@@ -134,10 +134,17 @@ class Session:
         telemetry_port: Optional[int] = None,
         governor: Optional[ResourceGovernor] = None,
         default_budget: Optional[QueryBudget] = None,
+        shared_scans: bool = True,
+        morsel_rows: int = 4096,
     ) -> None:
         self.database = database
         self.options = options or OptimizerOptions()
         self.cost_model = cost_model or CostModel()
+        #: share one physical scan per (table, column-set) group per batch.
+        self.shared_scans = shared_scans
+        #: rows per morsel streamed through fused pipelines (<=0: whole
+        #: frame in one morsel).
+        self.morsel_rows = morsel_rows
         #: observability sinks shared by every optimize/execute on this
         #: session; the null defaults make instrumentation a no-op.
         if registry is None and telemetry_port is not None:
@@ -333,11 +340,12 @@ class Session:
             result.candidates,
             execution.metrics.spool_stats,
             query_spool_read_counts(bundle),
+            scan_stats=execution.metrics.scan_stats,
         )
 
     def _publish_ledger(self, ledger: Optional[SharingLedger]) -> None:
         """Mirror a batch ledger into metrics, journal, and trace."""
-        if ledger is None or not ledger.spools:
+        if ledger is None or not (ledger.spools or ledger.scans):
             return
         ledger.publish(self.registry)
         for cse_id in ledger.negative_spools:
@@ -507,7 +515,9 @@ class Session:
         }
         if outcome.fallback_reason is not None:
             record["fallback_reason"] = outcome.fallback_reason
-        if outcome.ledger is not None and outcome.ledger.spools:
+        if outcome.ledger is not None and (
+            outcome.ledger.spools or outcome.ledger.scans
+        ):
             # The same rounded payload the metrics gauges and EXPLAIN
             # ANALYZE carry, so the three surfaces agree exactly.
             record["ledger"] = outcome.ledger.to_payload()
@@ -591,6 +601,8 @@ class Session:
                 registry=self.registry,
                 workers=count,
                 tracer=self.tracer,
+                shared_scans=self.shared_scans,
+                morsel_rows=self.morsel_rows,
             )
         else:
             executor = Executor(
@@ -598,6 +610,8 @@ class Session:
                 self.cost_model,
                 registry=self.registry,
                 tracer=self.tracer,
+                shared_scans=self.shared_scans,
+                morsel_rows=self.morsel_rows,
             )
         return executor.execute(
             bundle if bundle is not None else result.bundle,
@@ -657,6 +671,8 @@ class Session:
                 self.cost_model,
                 registry=self.registry,
                 workers=self._effective_workers(parallel, workers),
+                shared_scans=self.shared_scans,
+                morsel_rows=self.morsel_rows,
             )
         header = [
             f"estimated cost: {result.est_cost:.2f} "

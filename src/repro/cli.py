@@ -113,6 +113,21 @@ def build_parser() -> argparse.ArgumentParser:
             "re-executes the batch serially without sharing"
         ),
     )
+    query.add_argument(
+        "--no-fused", action="store_true",
+        help=(
+            "disable operator fusion: scan->filter->project chains run "
+            "as separate materializing operators instead of one "
+            "morsel-streamed pipeline"
+        ),
+    )
+    query.add_argument(
+        "--morsel-rows", type=int, metavar="N", default=4096,
+        help=(
+            "rows per morsel streamed through fused pipelines "
+            "(default 4096; 0 = whole frame in one morsel)"
+        ),
+    )
 
     explain = sub.add_parser("explain", help="print the optimized plan")
     explain.add_argument("sql")
@@ -132,6 +147,10 @@ def build_parser() -> argparse.ArgumentParser:
             "execute the plan and annotate operators with actual rows and "
             "time, spool cost attribution, and optimizer counters"
         ),
+    )
+    explain.add_argument(
+        "--no-fused", action="store_true",
+        help="disable operator fusion (see `query --no-fused`)",
     )
     explain.add_argument(
         "--why", action="store_true",
@@ -216,6 +235,8 @@ def _options(args: argparse.Namespace) -> OptimizerOptions:
         options = OptimizerOptions()
     if getattr(args, "no_history_reuse", False):
         options = dataclasses.replace(options, reuse_history=False)
+    if getattr(args, "no_fused", False):
+        options = dataclasses.replace(options, enable_fusion=False)
     return options
 
 
@@ -245,6 +266,7 @@ def _cmd_query(args: argparse.Namespace, out) -> int:
         tracer=tracer,
         workers=workers,
         query_log=query_log,
+        morsel_rows=args.morsel_rows,
     )
     budget = None
     if (

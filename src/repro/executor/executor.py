@@ -21,7 +21,9 @@ from ..obs import NULL_REGISTRY, NULL_TRACER, MetricsRegistry, OperatorStats, Tr
 from ..optimizer.cost import CostModel
 from ..optimizer.engine import PlanBundle, QueryPlan
 from ..optimizer.physical import (
+    FusedStage,
     PhysFilter,
+    PhysFusedPipeline,
     PhysHashAgg,
     PhysHashJoin,
     PhysIndexScan,
@@ -36,6 +38,7 @@ from ..optimizer.aggs import AggCompute
 from ..storage.database import Database
 from .iterators import execute_node, materialize_spool, sort_order_for
 from .runtime import ExecutionContext, ExecutionMetrics
+from .scans import ScanManager
 
 if TYPE_CHECKING:  # avoid the executor → serve → executor import cycle
     from ..serve.governor import CancellationToken
@@ -96,11 +99,17 @@ class Executor:
         cost_model: Optional[CostModel] = None,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        shared_scans: bool = True,
+        morsel_rows: int = 4096,
     ) -> None:
         self.database = database
         self.cost_model = cost_model or CostModel()
         self.registry = registry or NULL_REGISTRY
         self.tracer = tracer or NULL_TRACER
+        #: engine v2: one physical scan per (table, column-set) per batch.
+        self.shared_scans = shared_scans
+        #: morsel size for fused streaming pipelines.
+        self.morsel_rows = morsel_rows
 
     def execute(
         self,
@@ -122,6 +131,8 @@ class Executor:
             op_stats={} if collect_op_stats else None,
             token=token,
             tracer=self.tracer,
+            scans=ScanManager() if self.shared_scans else None,
+            morsel_rows=self.morsel_rows,
         )
         executed_plans: Dict[str, PhysicalPlan] = {}
         results: List[QueryResult] = []
@@ -337,6 +348,19 @@ def bind_scalars(plan: PhysicalPlan, mapping: Dict[Expr, Expr]) -> PhysicalPlan:
         )
     if isinstance(plan, PhysSpoolRead):
         return plan
+    if isinstance(plan, PhysFusedPipeline):
+        return PhysFusedPipeline(
+            source=bind_scalars(plan.source, mapping),
+            stages=tuple(
+                FusedStage(
+                    kind=s.kind,
+                    exprs=_sub_all(s.exprs, mapping),
+                    est_rows=s.est_rows,
+                )
+                for s in plan.stages
+            ),
+            est_rows=plan.est_rows,
+        )
     if isinstance(plan, PhysSpoolDef):
         return PhysSpoolDef(
             spools=tuple(

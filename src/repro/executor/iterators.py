@@ -24,6 +24,7 @@ from ..expr.expressions import AggExpr, AggFunc, ColumnRef, Expr
 from ..optimizer.aggs import AggCompute
 from ..optimizer.physical import (
     PhysFilter,
+    PhysFusedPipeline,
     PhysHashAgg,
     PhysHashJoin,
     PhysIndexScan,
@@ -39,7 +40,9 @@ from ..types import DataType
 from .runtime import ExecutionContext
 
 
-def execute_node(plan: PhysicalPlan, ctx: ExecutionContext) -> Frame:
+def execute_node(
+    plan: PhysicalPlan, ctx: ExecutionContext, charge_output: bool = True
+) -> Frame:
     """Evaluate a plan node to a frame.
 
     When ``ctx.op_stats`` is enabled, each node's invocation count, output
@@ -50,15 +53,21 @@ def execute_node(plan: PhysicalPlan, ctx: ExecutionContext) -> Frame:
     governance checkpoint: deadline expiry / cancellation raise before the
     operator runs, and (with a row budget) the operator's output rows are
     charged afterwards — so a runaway plan stops at the next operator
-    boundary instead of stalling the batch."""
+    boundary instead of stalling the batch. ``charge_output=False``
+    suppresses the output-row charge for this node only (a spool body's
+    top output is charged at each consumer read, never at the producer);
+    fused pipelines charge per morsel inside the streaming loop instead."""
     token = ctx.token
     if token is not None:
         token.check()
+    charge = (
+        charge_output and not isinstance(plan, PhysFusedPipeline)
+    )
     ctx.metrics.operator_invocations += 1
     tracer = ctx.tracer
     if ctx.op_stats is None and not tracer.enabled:
         frame = _dispatch(plan, ctx)
-        if token is not None and token.charges_rows:
+        if token is not None and token.charges_rows and charge:
             token.charge_rows(frame_length(frame))
         return frame
     start = perf_counter()
@@ -79,7 +88,7 @@ def execute_node(plan: PhysicalPlan, ctx: ExecutionContext) -> Frame:
         stats.invocations += 1
         stats.rows_out += rows
         stats.wall_time += elapsed
-    if token is not None and token.charges_rows:
+    if token is not None and token.charges_rows and charge:
         token.charge_rows(rows)
     return frame
 
@@ -92,6 +101,8 @@ def _op_span_name(plan: PhysicalPlan) -> str:
 def _dispatch(plan: PhysicalPlan, ctx: ExecutionContext) -> Frame:
     if isinstance(plan, PhysScan):
         return _scan(plan, ctx)
+    if isinstance(plan, PhysFusedPipeline):
+        return _fused(plan, ctx)
     if isinstance(plan, PhysIndexScan):
         return _index_scan(plan, ctx)
     if isinstance(plan, PhysHashJoin):
@@ -138,6 +149,10 @@ def _scan_frame(
 
 
 def _scan(plan: PhysScan, ctx: ExecutionContext) -> Frame:
+    if ctx.scans is not None:
+        # Engine v2: one physical scan per (table, needed-columns) group
+        # per batch; the manager does the Def 5.1-split charging.
+        return _restrict(ctx.scans.scan_frame(plan, ctx), plan.outputs)
     table = ctx.database.table(plan.table_ref.physical_name)
     frame = _scan_frame(plan.outputs, plan.conjuncts, table.column)
     rows = table.row_count
@@ -186,6 +201,95 @@ def _restrict(frame: Frame, outputs: Tuple[Expr, ...]) -> Frame:
             # Computable output (e.g. a passthrough expression).
             restricted[expr] = evaluate(expr, frame)
     return restricted
+
+
+# ---------------------------------------------------------------------------
+# Fused pipelines (engine v2 morsel streaming)
+# ---------------------------------------------------------------------------
+
+
+def _fused(plan: PhysFusedPipeline, ctx: ExecutionContext) -> Frame:
+    """Stream a fused scan→filter→project chain morsel-at-a-time.
+
+    The source resolves like its unfused self (shared-scan manager for
+    scans, per-consumer read accounting for spool reads); the stages then
+    run over fixed-size morsels so no whole intermediate frame is ever
+    materialized. The governor token is checked once per morsel, making
+    cancellation strictly finer-grained than the per-operator checkpoints
+    of the unfused path. Row-budget charges mirror the unfused plan
+    exactly — the source's output once, then every stage's output — so
+    ``max_rows`` semantics are identical with fusion on or off, at any
+    morsel size. Filter costs are charged once over the summed morsel
+    inputs, so the deterministic cost-unit totals are morsel-size
+    independent too."""
+    source = plan.source
+    if isinstance(source, PhysScan):
+        frame = _scan(source, ctx)
+    elif isinstance(source, PhysSpoolRead):
+        frame = _spool_read(source, ctx)
+    else:
+        raise ExecutionError(
+            f"fused pipeline cannot source from {type(source).__name__}"
+        )
+    n = frame_length(frame)
+    if ctx.op_stats is not None:
+        # The source never goes through execute_node; record it so
+        # EXPLAIN ANALYZE does not report "never executed".
+        stats = ctx.stats_for(source)
+        stats.invocations += 1
+        stats.rows_out += n
+    token = ctx.token
+    charges = token is not None and token.charges_rows
+    if charges:
+        # The source's own output charge (execute_node would have made it).
+        token.charge_rows(n)
+    stages = plan.stages
+    morsel = ctx.morsel_rows if ctx.morsel_rows > 0 else (n or 1)
+    stage_inputs = [0] * len(stages)
+    pieces: List[Frame] = []
+    start = 0
+    while True:
+        stop = min(start + morsel, n)
+        piece: Frame = {k: v[start:stop] for k, v in frame.items()}
+        if token is not None:
+            token.check()
+        for i, stage in enumerate(stages):
+            stage_inputs[i] += frame_length(piece)
+            if stage.kind == "filter":
+                rows = frame_length(piece)
+                mask = np.ones(rows, dtype=bool)
+                for conjunct in stage.exprs:
+                    mask &= evaluate_predicate(conjunct, piece)
+                piece = {k: v[mask] for k, v in piece.items()}
+            else:  # project
+                piece = {e: evaluate(e, piece) for e in stage.exprs}
+            if charges:
+                # Per-stage output charge, mirroring the unfused
+                # operator-by-operator accounting exactly.
+                token.charge_rows(frame_length(piece))
+        pieces.append(piece)
+        start = stop
+        if start >= n:
+            break
+    for i, stage in enumerate(stages):
+        if stage.kind == "filter":
+            ctx.metrics.cost_units += ctx.cost_model.filter(
+                stage_inputs[i], len(stage.exprs)
+            )
+    return _concat_frames(pieces)
+
+
+def _concat_frames(pieces: List[Frame]) -> Frame:
+    if len(pieces) == 1:
+        return pieces[0]
+    # Skip empty morsel outputs (an all-filtered morsel's dtype can
+    # degrade under concatenate); keep one piece for the key set.
+    live = [p for p in pieces if frame_length(p)] or pieces[:1]
+    if len(live) == 1:
+        return live[0]
+    return {
+        key: np.concatenate([p[key] for p in live]) for key in live[0]
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -517,6 +621,10 @@ def _materialize_spool(
         ctx.token.check()
     start = perf_counter()
     cost_before = ctx.metrics.cost_units
+    # Interior operators charge their outputs here as usual; the body's
+    # *top* projection is evaluated manually below and deliberately never
+    # charged — those rows are charged at every consumer read
+    # (spool_read), so charging the producer too would double-count them.
     frame = execute_node(body.child, ctx)
     names: List[str] = []
     types: List[DataType] = []
@@ -575,18 +683,44 @@ def _spool_def(plan: PhysSpoolDef, ctx: ExecutionContext) -> Frame:
     return execute_node(plan.child, ctx)
 
 
+def _rank_codes(values: np.ndarray) -> np.ndarray:
+    """Dense int64 rank codes for one sort key; NULL ranks largest.
+
+    NULL-extended outer-join frames (PR 6) flow NaN (numeric) and None
+    (object) columns into ORDER BY. Encoding each key as dense ranks with
+    NULL = highest rank gives a single deterministic NULL order — NULLs
+    last ascending, first descending — on both dtypes, lets descending
+    sort negate the codes (``np.argsort(-codes)``) instead of reversing a
+    stable order (which broke multi-key stability on ties), and avoids
+    ``np.argsort`` on object arrays containing None (a TypeError)."""
+    if values.dtype == np.object_:
+        nulls = np.fromiter(
+            (v is None for v in values), dtype=bool, count=len(values)
+        )
+        live = values[~nulls]
+        uniq = sorted(set(live.tolist()))
+        rank = {v: i for i, v in enumerate(uniq)}
+        codes = np.full(len(values), len(uniq), dtype=np.int64)
+        codes[~nulls] = np.fromiter(
+            (rank[v] for v in live), dtype=np.int64, count=len(live)
+        )
+        return codes
+    if np.issubdtype(values.dtype, np.floating):
+        nulls = np.isnan(values)
+        if nulls.any():
+            live = values[~nulls]
+            uniq = np.unique(live)
+            codes = np.full(len(values), len(uniq), dtype=np.int64)
+            codes[~nulls] = np.searchsorted(uniq, live)
+            return codes
+    _, inverse = np.unique(values, return_inverse=True)
+    return inverse.astype(np.int64, copy=False).reshape(len(values))
+
+
 def _sort_order(plan: PhysSort, frame: Frame, ctx: ExecutionContext) -> np.ndarray:
     n = frame_length(frame)
     ctx.metrics.cost_units += ctx.cost_model.sort(n)
-    order = np.arange(n)
-    # Stable sorts applied last-key-first give lexicographic order.
-    for expr, descending in reversed(plan.sort_items):
-        values = evaluate(expr, frame)[order]
-        inner = np.argsort(values, kind="stable")
-        if descending:
-            inner = inner[::-1]
-        order = order[inner]
-    return order
+    return sort_order_for(plan.sort_items, frame)
 
 
 def sort_order_for(
@@ -595,10 +729,11 @@ def sort_order_for(
     """Row order for ORDER BY items evaluated against ``frame``."""
     n = frame_length(frame)
     order = np.arange(n)
+    # Stable sorts applied last-key-first give lexicographic order;
+    # descending keys negate their rank codes, keeping the sort stable
+    # (NULL = largest rank, so NULLs sort last asc / first desc).
     for expr, descending in reversed(sort_items):
-        values = evaluate(expr, frame)[order]
-        inner = np.argsort(values, kind="stable")
-        if descending:
-            inner = inner[::-1]
+        codes = _rank_codes(evaluate(expr, frame)[order])
+        inner = np.argsort(-codes if descending else codes, kind="stable")
         order = order[inner]
     return order

@@ -376,23 +376,34 @@ def evaluate_query(
         rows = evaluate_block(database, query.block, scalars)
     output_shape = query.post.output if query.post else query.block.output
     if query.order_by:
-        def sort_key(row: Tuple[Any, ...]):
-            parts = []
-            for expr, descending in query.order_by:
-                index = None
-                for i, out in enumerate(output_shape):
-                    if out.expr == expr:
-                        index = i
-                        break
-                if index is None:
-                    raise ExecutionError(
-                        f"ORDER BY expression {expr!r} not in output"
-                    )
-                value = row[index]
-                parts.append(-value if descending else value)
-            return tuple(parts)
+        def column_index(expr) -> int:
+            for i, out in enumerate(output_shape):
+                if out.expr == expr:
+                    return i
+            raise ExecutionError(
+                f"ORDER BY expression {expr!r} not in output"
+            )
 
-        rows = sorted(rows, key=sort_key)
+        def null_aware_key(index: int):
+            # NULL (None or NaN, e.g. from an unmatched outer-join row)
+            # compares larger than every value, so it lands last
+            # ascending and first descending — the engine's order.
+            def key(row: Tuple[Any, ...]):
+                value = row[index]
+                is_null = value is None or (
+                    isinstance(value, float) and value != value
+                )
+                return (is_null, 0 if is_null else value)
+
+            return key
+
+        # Stable per-key passes, last key first: equivalent to one
+        # composite sort but works for non-numeric and NULL values,
+        # which a `-value` negation cannot express.
+        rows = list(rows)
+        for expr, descending in reversed(query.order_by):
+            rows.sort(key=null_aware_key(column_index(expr)),
+                      reverse=descending)
     return rows
 
 

@@ -28,6 +28,7 @@ from ..storage.worktable import WorkTable
 
 if TYPE_CHECKING:  # avoid the executor → serve → executor import cycle
     from ..serve.governor import CancellationToken
+    from .scans import ScanManager
 
 
 @dataclass
@@ -71,6 +72,46 @@ class SpoolStats:
 
 
 @dataclass
+class ScanStats:
+    """Shared-scan accounting for one (table, needed-columns) group.
+
+    The scan-leaf analogue of :class:`SpoolStats`: Def 5.1 with
+    ``C_W = 0`` (nothing is written — consumers alias the same arrays)
+    and ``C_R ≈ 0``, so the saving is ``(n - 1) · C_E``. The fields are
+    formulated so merged totals are identical whether the physical fetch
+    happened in a dedicated prewarm task (parallel) or at the first
+    consumer (serial)."""
+
+    #: consumer-side resolutions of this group (one per scan execution).
+    reads: int = 0
+    #: physical fetches actually performed (1 per batch when shared).
+    physical_scans: int = 0
+    #: the table's row count (merge keeps the max, not the sum).
+    rows: int = 0
+    #: rows actually produced by physical fetches.
+    rows_scanned: int = 0
+    #: cost units charged for the physical work (scan + shared filter).
+    cost_units: float = 0.0
+
+    @property
+    def shared(self) -> int:
+        """Reads served without a physical scan."""
+        return max(0, self.reads - self.physical_scans)
+
+    @property
+    def rows_saved(self) -> int:
+        """Rows the consumers did not have to re-scan."""
+        return max(0, self.rows * self.reads - self.rows_scanned)
+
+    def merge(self, other: "ScanStats") -> None:
+        self.reads += other.reads
+        self.physical_scans += other.physical_scans
+        self.rows = max(self.rows, other.rows)
+        self.rows_scanned += other.rows_scanned
+        self.cost_units += other.cost_units
+
+
+@dataclass
 class ExecutionMetrics:
     """Deterministic work counters accumulated during execution."""
 
@@ -84,12 +125,22 @@ class ExecutionMetrics:
     spools_materialized: int = 0
     operator_invocations: int = 0
     spool_stats: Dict[str, SpoolStats] = field(default_factory=dict)
+    #: per-(table, column-set) shared-scan accounting, keyed like
+    #: ``"lineitem[l_orderkey+l_quantity]"``.
+    scan_stats: Dict[str, ScanStats] = field(default_factory=dict)
 
     def spool(self, cse_id: str) -> SpoolStats:
         """The (created-on-demand) per-spool stats for ``cse_id``."""
         stats = self.spool_stats.get(cse_id)
         if stats is None:
             stats = self.spool_stats[cse_id] = SpoolStats()
+        return stats
+
+    def scan(self, key: str) -> ScanStats:
+        """The (created-on-demand) per-scan-group stats for ``key``."""
+        stats = self.scan_stats.get(key)
+        if stats is None:
+            stats = self.scan_stats[key] = ScanStats()
         return stats
 
     def merge(self, other: "ExecutionMetrics") -> None:
@@ -105,6 +156,8 @@ class ExecutionMetrics:
         self.operator_invocations += other.operator_invocations
         for cse_id, stats in other.spool_stats.items():
             self.spool(cse_id).merge(stats)
+        for key, scan in other.scan_stats.items():
+            self.scan(key).merge(scan)
 
     def publish(self, registry: MetricsRegistry) -> None:
         """Mirror the totals into a registry as executor.* counters."""
@@ -124,6 +177,19 @@ class ExecutionMetrics:
         registry.counter(
             "executor.operator_invocations", self.operator_invocations
         )
+        if self.scan_stats:
+            registry.counter("executor.scan.reads", sum(
+                s.reads for s in self.scan_stats.values()
+            ))
+            registry.counter("executor.scan.physical", sum(
+                s.physical_scans for s in self.scan_stats.values()
+            ))
+            registry.counter("executor.scan.shared", sum(
+                s.shared for s in self.scan_stats.values()
+            ))
+            registry.counter("executor.scan.rows_saved", sum(
+                s.rows_saved for s in self.scan_stats.values()
+            ))
 
 
 @dataclass
@@ -152,6 +218,11 @@ class ExecutionContext:
     #: itself is published, so the same happens-before edge that makes
     #: ``spools`` safe covers it.
     spool_spans: Dict[str, int] = field(default_factory=dict)
+    #: batch-wide shared-scan manager (engine v2). None falls back to the
+    #: per-consumer physical scan of v1.
+    scans: Optional["ScanManager"] = None
+    #: morsel size for fused streaming pipelines (rows per morsel).
+    morsel_rows: int = 4096
 
     def stats_for(self, node: object) -> OperatorStats:
         """The (created-on-demand) stats slot for one plan node."""

@@ -38,6 +38,7 @@ from .critical import (
     render_summary,
 )
 from .ledger import (
+    ScanLedgerEntry,
     SharingLedger,
     SpoolLedgerEntry,
     build_ledger,
@@ -79,6 +80,7 @@ __all__ = [
     "NULL_CONTEXT",
     "TRACE_HEADER_TYPE",
     "SharingLedger",
+    "ScanLedgerEntry",
     "SpoolLedgerEntry",
     "build_ledger",
     "estimated_ledger",

@@ -94,6 +94,50 @@ class SpoolLedgerEntry:
 
 
 @dataclass
+class ScanLedgerEntry:
+    """Sharing economics for one shared (table, column-set) scan group.
+
+    A shared scan is spool sharing at the scan leaf with ``C_W = 0`` (the
+    raw columns are zero-copy views, nothing is written) and ``C_R ~= 0``
+    (handing a consumer the cached arrays costs no per-row work), so
+    Def 5.1 collapses to savings ``(n - 1) * C_E``: every consumer past
+    the first rides the one physical fetch for free."""
+
+    key: str
+    table: str
+    columns: List[str] = field(default_factory=list)
+    #: consumer-side reads served from the group.
+    reads: int = 0
+    #: physical fetches actually performed (1 when shared).
+    physical_scans: int = 0
+    #: rows in the table (one consumer's worth).
+    rows: int = 0
+    #: rows actually pulled from storage across physical fetches.
+    rows_scanned: int = 0
+    #: measured cost units charged for the physical work.
+    cost_units: float = 0.0
+
+    @property
+    def shared(self) -> int:
+        """Reads served without a physical fetch of their own."""
+        return max(0, self.reads - self.physical_scans)
+
+    @property
+    def rows_saved(self) -> int:
+        """Rows *not* re-fetched thanks to sharing."""
+        return max(0, self.rows * self.reads - self.rows_scanned)
+
+    @property
+    def measured_savings(self) -> float:
+        """Def 5.1 at the scan leaf: ``(n - 1) * C_E`` with ``C_E`` the
+        measured per-fetch cost (``C_W = 0``, ``C_R ~= 0``)."""
+        if self.physical_scans <= 0:
+            return 0.0
+        per_scan = self.cost_units / self.physical_scans
+        return self.shared * per_scan
+
+
+@dataclass
 class QueryLedgerEntry:
     """One query's share of the batch's sharing savings."""
 
@@ -110,6 +154,8 @@ class SharingLedger:
 
     spools: List[SpoolLedgerEntry] = field(default_factory=list)
     queries: List[QueryLedgerEntry] = field(default_factory=list)
+    #: shared (table, column-set) scan groups with two or more readers.
+    scans: List[ScanLedgerEntry] = field(default_factory=list)
 
     @property
     def est_savings(self) -> float:
@@ -182,6 +228,22 @@ class SharingLedger:
                 }
                 for q in self.queries
             ],
+            "scans": [
+                {
+                    "scan": s.key,
+                    "table": s.table,
+                    "columns": list(s.columns),
+                    "reads": s.reads,
+                    "physical_scans": s.physical_scans,
+                    "shared": s.shared,
+                    "rows": s.rows,
+                    "rows_scanned": s.rows_scanned,
+                    "rows_saved": s.rows_saved,
+                    "cost_units": round(s.cost_units, _ROUND),
+                    "measured_savings": round(s.measured_savings, _ROUND),
+                }
+                for s in self.scans
+            ],
             "est_savings": round(self.est_savings, _ROUND),
             "measured_savings": round(self.measured_savings, _ROUND),
             "negative_spools": self.negative_spools,
@@ -210,6 +272,24 @@ class SharingLedger:
             registry.gauge(
                 "ledger.spool_consumers", spool["consumers"], labels=labels
             )
+        for scan in payload["scans"]:
+            labels = {"scan": scan["scan"]}
+            registry.gauge(
+                "ledger.scan_reads", scan["reads"], labels=labels
+            )
+            registry.gauge(
+                "ledger.scan_shared", scan["shared"], labels=labels
+            )
+            registry.gauge(
+                "ledger.scan_rows_saved", scan["rows_saved"],
+                labels=labels,
+            )
+            registry.gauge(
+                "ledger.scan_measured_savings",
+                scan["measured_savings"],
+                labels=labels,
+            )
+        registry.gauge("ledger.scans_shared", len(self.scans))
         registry.gauge("ledger.spools_shared", len(self.spools))
         registry.gauge(
             "ledger.negative_spools", len(self.negative_spools)
@@ -226,7 +306,9 @@ class SharingLedger:
         """The ledger as text (the EXPLAIN ANALYZE / --why section)."""
         payload = self.to_payload()
         if not payload["spools"]:
-            return f"{indent}sharing ledger: no shared spools"
+            lines = [f"{indent}sharing ledger: no shared spools"]
+            lines.extend(self._render_scans(payload, indent))
+            return "\n".join(lines)
         lines = [f"{indent}sharing ledger (Def 5.1, cost units):"]
         for spool in payload["spools"]:
             flag = "  !! negative benefit" if spool["negative"] else ""
@@ -267,13 +349,33 @@ class SharingLedger:
             f"{indent}  total: est {payload['est_savings']}, "
             f"measured {payload['measured_savings']}"
         )
+        lines.extend(self._render_scans(payload, indent))
         return "\n".join(lines)
+
+    @staticmethod
+    def _render_scans(payload: Dict[str, Any], indent: str) -> List[str]:
+        """The shared-scans section (empty when no group was shared)."""
+        if not payload["scans"]:
+            return []
+        lines = [f"{indent}shared scans (Def 5.1 at the leaf, C_W=0):"]
+        for scan in payload["scans"]:
+            lines.append(
+                f"{indent}  scan {scan['scan']}: "
+                f"{scan['physical_scans']} physical over "
+                f"{scan['reads']} reads "
+                f"({scan['shared']} shared), "
+                f"rows saved {scan['rows_saved']}, "
+                f"C_E={scan['cost_units']} "
+                f"-> savings {scan['measured_savings']}"
+            )
+        return lines
 
 
 def build_ledger(
     candidates: Iterable[Any],
     spool_stats: Mapping[str, Any],
     query_reads: Optional[Mapping[str, Mapping[str, int]]] = None,
+    scan_stats: Optional[Mapping[str, Any]] = None,
 ) -> SharingLedger:
     """Assemble the ledger from plan-time and run-time evidence.
 
@@ -284,7 +386,9 @@ def build_ledger(
     ``query_reads`` the per-query spool-read counts observed in the
     executed plans (``query -> cse_id -> reads``), used both as the
     planned consumer count and for per-query attribution. Only spools
-    that actually materialized appear."""
+    that actually materialized appear. ``scan_stats`` (``stats key ->
+    ScanStats``) adds shared-scan entries for every (table, column-set)
+    group that served two or more consumer reads."""
     by_id: Dict[str, Any] = {}
     for candidate in candidates:
         by_id.setdefault(candidate.cse_id, candidate)
@@ -326,6 +430,28 @@ def build_ledger(
             read_wall_time=getattr(stats, "read_wall_time", 0.0),
         )
         ledger.spools.append(entry)
+
+    for key in sorted(scan_stats or {}):
+        stats = (scan_stats or {})[key]
+        reads = getattr(stats, "reads", 0)
+        if reads < 2:
+            continue
+        table, _, column_part = key.partition("[")
+        columns = sorted(
+            c for c in column_part.rstrip("]").split("+") if c
+        )
+        ledger.scans.append(
+            ScanLedgerEntry(
+                key=key,
+                table=table,
+                columns=columns,
+                reads=reads,
+                physical_scans=getattr(stats, "physical_scans", 0),
+                rows=getattr(stats, "rows", 0),
+                rows_scanned=getattr(stats, "rows_scanned", 0),
+                cost_units=getattr(stats, "cost_units", 0.0),
+            )
+        )
 
     _attribute_queries(ledger, query_reads)
     return ledger

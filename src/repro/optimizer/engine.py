@@ -365,6 +365,15 @@ class Optimizer:
         with use_registry(self.registry), use_journal(self.journal):
             with self.tracer.span("optimize", queries=len(batch.queries)):
                 result = self._optimize(batch)
+        if self.options.enable_fusion:
+            from .fusion import fuse_bundle  # local: avoids import cycle
+
+            shared = result.base_bundle is result.bundle
+            result.bundle = fuse_bundle(result.bundle)
+            if shared:
+                result.base_bundle = result.bundle
+            elif result.base_bundle is not None:
+                result.base_bundle = fuse_bundle(result.base_bundle)
         result.journal = self.journal
         self._publish_stats(result.stats)
         return result

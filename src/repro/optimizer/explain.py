@@ -24,6 +24,7 @@ from .cost import CostModel
 from .engine import OptimizationResult, PlanBundle
 from .physical import (
     PhysFilter,
+    PhysFusedPipeline,
     PhysHashAgg,
     PhysHashJoin,
     PhysIndexScan,
@@ -138,6 +139,19 @@ class PlanAnnotator:
             return model.project(plan.child.est_rows, len(plan.outputs))
         if isinstance(plan, PhysSort):
             return model.sort(plan.child.est_rows)
+        if isinstance(plan, PhysFusedPipeline):
+            # The source annotates as a child; the fused node's local cost
+            # is the sum of its stages over the preserved per-stage
+            # estimates — the same numbers the unfused chain annotated.
+            total = 0.0
+            input_rows = plan.source.est_rows
+            for stage in plan.stages:
+                if stage.kind == "filter":
+                    total += model.filter(input_rows, len(stage.exprs))
+                else:
+                    total += model.project(input_rows, len(stage.exprs))
+                input_rows = stage.est_rows
+            return total
         if isinstance(plan, PhysSpoolRead):
             rows, width = self._spool_stats.get(
                 plan.cse_id, (plan.est_rows, 8)
@@ -271,6 +285,8 @@ def explain_analyze(
     cost_model: Optional[CostModel] = None,
     registry=None,
     workers: int = 1,
+    shared_scans: bool = True,
+    morsel_rows: int = 4096,
 ) -> str:
     """EXPLAIN ANALYZE: execute the chosen bundle and render each operator
     with estimated *and* actual rows/time, spool cost attribution, and the
@@ -284,10 +300,21 @@ def explain_analyze(
         from ..serve.parallel import ParallelExecutor
 
         executor = ParallelExecutor(
-            database, cost_model, registry=registry, workers=workers
+            database,
+            cost_model,
+            registry=registry,
+            workers=workers,
+            shared_scans=shared_scans,
+            morsel_rows=morsel_rows,
         )
     else:
-        executor = Executor(database, cost_model, registry=registry)
+        executor = Executor(
+            database,
+            cost_model,
+            registry=registry,
+            shared_scans=shared_scans,
+            morsel_rows=morsel_rows,
+        )
     execution = executor.execute(bundle, collect_op_stats=True)
     from ..obs import build_ledger
     from ..serve.schedule import query_spool_read_counts
@@ -296,6 +323,7 @@ def explain_analyze(
         result.candidates,
         execution.metrics.spool_stats,
         query_spool_read_counts(bundle),
+        scan_stats=execution.metrics.scan_stats,
     )
     return render_analyzed_bundle(
         database, result, execution, cost_model, ledger=ledger
@@ -343,7 +371,7 @@ def render_analyzed_bundle(
     if attribution:
         parts.append("")
         parts.extend(attribution)
-    if ledger is not None and ledger.spools:
+    if ledger is not None and (ledger.spools or ledger.scans):
         # The sharing-economics ledger, rendered from the same rounded
         # payload the query log and ledger.* gauges carry.
         parts.append("")
@@ -360,4 +388,18 @@ def render_analyzed_bundle(
         f"(rows written {metrics.spool_rows_written}, "
         f"rows read {metrics.spool_rows_read})"
     )
+    if metrics.scan_stats:
+        reads = sum(s.reads for s in metrics.scan_stats.values())
+        physical = sum(
+            s.physical_scans for s in metrics.scan_stats.values()
+        )
+        shared = sum(s.shared for s in metrics.scan_stats.values())
+        rows_saved = sum(
+            s.rows_saved for s in metrics.scan_stats.values()
+        )
+        parts.append(
+            "Shared scans: "
+            f"{physical} physical over {reads} consumer reads "
+            f"({shared} shared, rows saved {rows_saved})"
+        )
     return "\n".join(parts)

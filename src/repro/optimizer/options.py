@@ -96,6 +96,12 @@ class OptimizerOptions:
     #: value ("only if the query is expensive", §2.2). 0 disables the gate.
     cse_cost_threshold: float = 0.0
 
+    #: Engine-v2 pipeline fusion: collapse eligible scan→filter→project
+    #: chains into a single streaming ``PhysFusedPipeline`` node that the
+    #: executor runs morsel-at-a-time (``--no-fused`` turns it off). Plan
+    #: costs are unchanged — fusion is a post-pass on the chosen bundle.
+    enable_fusion: bool = True
+
     def __post_init__(self) -> None:
         if self.cost_mode not in ("profile", "naive_split"):
             raise ValueError(f"unknown cost_mode {self.cost_mode!r}")

@@ -89,6 +89,9 @@ class PlanCache:
     ) -> None:
         """Insert (or refresh) an entry, evicting the LRU tail if full."""
         evicted = 0
+        # Invalidation matches on lowercased table names; normalize here so
+        # a batch bound against mixed-case DDL still invalidates.
+        tables = frozenset(t.lower() for t in tables)
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)

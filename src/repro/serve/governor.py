@@ -193,6 +193,12 @@ class CancellationToken:
 
     # -- budget charges ----------------------------------------------------
 
+    @property
+    def rows_charged(self) -> int:
+        """Total operator-output rows charged so far (0 without a row
+        budget) — the evidence the charge-exactly-once tests audit."""
+        return self._rows
+
     def charge_rows(self, rows: int) -> None:
         """Charge ``rows`` operator-output rows against ``max_rows``."""
         budget = self.budget

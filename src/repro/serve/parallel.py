@@ -36,6 +36,7 @@ from ..errors import ExecutionError, QueryCancelledError
 from ..executor.executor import BatchResult, Executor, QueryResult
 from ..executor.iterators import materialize_spool
 from ..executor.runtime import ExecutionContext, ExecutionMetrics
+from ..executor.scans import ScanManager
 from ..obs import MetricsRegistry, OperatorStats, SpanContext, Tracer
 from ..optimizer.cost import CostModel
 from ..optimizer.engine import PlanBundle
@@ -74,8 +75,17 @@ class ParallelExecutor(Executor):
         registry: Optional[MetricsRegistry] = None,
         workers: int = 2,
         tracer: Optional[Tracer] = None,
+        shared_scans: bool = True,
+        morsel_rows: int = 4096,
     ) -> None:
-        super().__init__(database, cost_model, registry=registry, tracer=tracer)
+        super().__init__(
+            database,
+            cost_model,
+            registry=registry,
+            tracer=tracer,
+            shared_scans=shared_scans,
+            morsel_rows=morsel_rows,
+        )
         if workers < 1:
             raise ExecutionError("workers must be positive")
         self.workers = workers
@@ -94,7 +104,7 @@ class ParallelExecutor(Executor):
         if self.workers == 1:
             return super().execute(bundle, collect_op_stats, token=token)
         start = time.perf_counter()
-        schedule = build_schedule(bundle)
+        schedule = build_schedule(bundle, include_scans=self.shared_scans)
         # One dict build for the whole batch: the per-task lookup used to
         # rebuild dict(bundle.root_spools) inside every spool task, an
         # O(spools²) rescan of the bundle under a wide DAG.
@@ -107,6 +117,10 @@ class ParallelExecutor(Executor):
         # Producer span ids, shared batch-wide like ``spools`` (written by
         # a spool task before its consumers are submitted).
         spool_spans: Dict[str, int] = {}
+        # One scan manager for the whole batch, shared by every task's
+        # context the same way ``spools`` is: per-key locks make each
+        # physical fetch exactly-once, so merged totals stay deterministic.
+        scans = ScanManager() if self.shared_scans else None
         with self.tracer.span(
             "execute_batch",
             queries=len(bundle.queries),
@@ -125,6 +139,7 @@ class ParallelExecutor(Executor):
                 collect_op_stats,
                 token,
                 batch_context,
+                scans,
             )
         metrics = ExecutionMetrics()
         op_stats: Optional[Dict[int, OperatorStats]] = (
@@ -166,6 +181,7 @@ class ParallelExecutor(Executor):
         spool_spans: Dict[str, int],
         collect_op_stats: bool,
         token: Optional[CancellationToken] = None,
+        scans: Optional[ScanManager] = None,
     ) -> ExecutionContext:
         return ExecutionContext(
             database=self.database,
@@ -176,6 +192,8 @@ class ParallelExecutor(Executor):
             op_stats={} if collect_op_stats else None,
             token=token,
             tracer=self.tracer,
+            scans=scans,
+            morsel_rows=self.morsel_rows,
         )
 
     def _run_task(
@@ -187,8 +205,11 @@ class ParallelExecutor(Executor):
         spool_spans: Dict[str, int],
         collect_op_stats: bool,
         token: Optional[CancellationToken],
+        scans: Optional[ScanManager] = None,
     ) -> _TaskOutcome:
-        ctx = self._task_context(spools, spool_spans, collect_op_stats, token)
+        ctx = self._task_context(
+            spools, spool_spans, collect_op_stats, token, scans
+        )
         start = time.perf_counter()
         outcome = "ok"
         try:
@@ -225,6 +246,17 @@ class ParallelExecutor(Executor):
         spools: Dict[str, WorkTable],
         ctx: ExecutionContext,
     ) -> _TaskOutcome:
+        if task.kind == "scan":
+            # Prewarm one shared (table, columns) group: the single
+            # physical fetch happens here, off the consumers' critical
+            # path; consumers (which depend on this task) alias the
+            # cached arrays. The fetch charge lands in this task's
+            # metrics — totals still merge deterministically because the
+            # manager's locks make the charge exactly-once batch-wide.
+            assert ctx.scans is not None and task.scan is not None
+            physical, names = task.scan
+            ctx.scans.prewarm(physical, frozenset(names), ctx)
+            return _TaskOutcome(ctx.metrics, ctx.op_stats)
         if task.kind == "spool":
             body = spool_bodies[task.label]
             if task.label not in spools:
@@ -252,6 +284,7 @@ class ParallelExecutor(Executor):
         collect_op_stats: bool,
         token: CancellationToken,
         batch_context: Optional[SpanContext] = None,
+        scans: Optional[ScanManager] = None,
     ) -> Dict[int, _TaskOutcome]:
         """Topological wave scheduling with bounded workers."""
         outcomes: Dict[int, _TaskOutcome] = {}
@@ -282,6 +315,7 @@ class ParallelExecutor(Executor):
                     spool_spans,
                     collect_op_stats,
                     token,
+                    scans,
                 )
                 running[future] = task.index
 

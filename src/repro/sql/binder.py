@@ -353,12 +353,9 @@ class Binder:
                 expr = self._bind_order_item(
                     item.expr, outputs, scope, cte_defs, subqueries, name
                 )
-                if any(
-                    col.table_ref in scope.nullable for col in expr.columns()
-                ):
-                    raise UnsupportedFeatureError(
-                        "ORDER BY over a nullable (outer-joined) column"
-                    )
+                # Nullable (outer-joined) columns are allowed: the engine
+                # and the reference oracle rank NULL largest (last asc,
+                # first desc) with stable per-key sorts on both dtypes.
                 order_by.append((expr, item.descending))
 
         if not pending_left and not semi_exts:

@@ -1,0 +1,251 @@
+"""Morsel-streamed fused pipelines: fusion pass, streaming equivalence,
+and exactly-once row-budget charging.
+
+The fusion pass collapses eligible scan→filter→project chains into one
+:class:`~repro.optimizer.physical.PhysFusedPipeline` node that streams
+fixed-size morsels instead of materializing a whole frame per operator.
+Correctness bar: frame-identical results to the materializing path at any
+morsel size, identical deterministic cost units, and governor row/deadline
+checks firing per-morsel.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import OptimizerOptions, Session
+from repro.errors import BudgetExceededError, QueryTimeoutError
+from repro.optimizer.physical import (
+    PhysFilter,
+    PhysFusedPipeline,
+    PhysScan,
+    PhysSpoolRead,
+)
+from repro.serve.governor import QueryBudget
+from repro.workloads import example1_batch
+
+FILTERED_SQL = (
+    "select c_nationkey, sum(c_acctbal) as v from customer "
+    "where c_nationkey < 12 group by c_nationkey;"
+    "select c_mktsegment, count(*) as n from customer "
+    "where c_nationkey < 12 group by c_mktsegment"
+)
+
+EMPTY_SQL = (
+    "select c_nationkey, count(*) as n from customer "
+    "where c_nationkey < -1 group by c_nationkey"
+)
+
+
+def _nodes(plan, kind):
+    return [n for n in plan.walk() if isinstance(n, kind)]
+
+
+def _normalize(rows):
+    return sorted(
+        [
+            tuple(round(v, 6) if isinstance(v, float) else v for v in row)
+            for row in rows
+        ],
+        key=repr,
+    )
+
+
+class TestFusionPass:
+    def test_filtered_scans_fuse(self, small_db):
+        result = Session(small_db).optimize(FILTERED_SQL)
+        fused = [
+            node
+            for query in result.bundle.queries
+            for node in _nodes(query.plan, PhysFusedPipeline)
+        ]
+        assert fused
+        for node in fused:
+            assert isinstance(node.source, (PhysScan, PhysSpoolRead))
+            assert all(s.kind in ("filter", "project") for s in node.stages)
+
+    def test_no_bare_filters_below_fused_regions(self, small_db):
+        """Fusion is maximal over eligible chains: a filter directly over
+        a scan or spool read must have been absorbed."""
+        result = Session(small_db).optimize(example1_batch())
+        for query in result.bundle.queries:
+            for node in _nodes(query.plan, PhysFilter):
+                assert not isinstance(
+                    node.child, (PhysScan, PhysSpoolRead)
+                ), f"unfused filter chain in {query.name}"
+
+    def test_enable_fusion_false_keeps_legacy_shape(self, small_db):
+        result = Session(
+            small_db, OptimizerOptions(enable_fusion=False)
+        ).optimize(FILTERED_SQL)
+        for query in result.bundle.queries:
+            assert not _nodes(query.plan, PhysFusedPipeline)
+
+    def test_fusion_is_cost_neutral(self, small_db):
+        fused = Session(small_db).optimize(FILTERED_SQL)
+        legacy = Session(
+            small_db, OptimizerOptions(enable_fusion=False)
+        ).optimize(FILTERED_SQL)
+        assert fused.est_cost == pytest.approx(legacy.est_cost, rel=1e-12)
+
+    def test_option_is_part_of_plan_cache_key(self, small_db):
+        session = Session(small_db)
+        session.execute(FILTERED_SQL)
+        session.options = OptimizerOptions(enable_fusion=False)
+        outcome = session.execute(FILTERED_SQL)
+        assert not outcome.plan_cache_hit
+
+    def test_cli_no_fused_flag(self, small_db, capsys):
+        from repro.cli import main
+
+        assert main(["--sf", "0.002", "explain", FILTERED_SQL]) == 0
+        assert "FusedPipeline" in capsys.readouterr().out
+        assert (
+            main(["--sf", "0.002", "explain", "--no-fused", FILTERED_SQL])
+            == 0
+        )
+        assert "FusedPipeline" not in capsys.readouterr().out
+
+
+class TestStreamingEquivalence:
+    @pytest.mark.parametrize("morsel", [1, 7, 4096])
+    def test_morsel_sizes_match_materializing_path(self, small_db, morsel):
+        batch = Session(small_db).bind(example1_batch())
+        legacy = Session(
+            small_db, OptimizerOptions(enable_fusion=False)
+        ).execute(batch)
+        fused = Session(small_db, morsel_rows=morsel).execute(batch)
+        for query in batch.queries:
+            assert _normalize(
+                fused.execution.query(query.name).rows
+            ) == _normalize(legacy.execution.query(query.name).rows)
+        assert fused.execution.metrics.cost_units == pytest.approx(
+            legacy.execution.metrics.cost_units, rel=1e-12
+        )
+
+    @pytest.mark.parametrize("morsel", [1, 7, 4096])
+    def test_empty_result_streams(self, small_db, morsel):
+        outcome = Session(small_db, morsel_rows=morsel).execute(EMPTY_SQL)
+        assert outcome.execution.results[0].row_count == 0
+
+    def test_morsel_size_does_not_change_cost(self, small_db):
+        costs = {
+            morsel: Session(small_db, morsel_rows=morsel)
+            .execute(example1_batch())
+            .execution.metrics.cost_units
+            for morsel in (1, 7, 4096, 0)
+        }
+        baseline = costs[4096]
+        for morsel, cost in costs.items():
+            assert cost == pytest.approx(baseline, rel=1e-12), morsel
+
+
+class TestRowBudgetCharging:
+    """Satellite: rows must be charged exactly once per consumer, no
+    matter which of shared-scan / fused / parallel paths executed."""
+
+    def _charged(self, db, sql, **session_kwargs) -> int:
+        session = Session(
+            db,
+            session_kwargs.pop("options", OptimizerOptions()),
+            **session_kwargs,
+        )
+        result = session.optimize(sql)
+        token = QueryBudget(max_rows=10**12).start()
+        session.execute_bundle(result, token=token)
+        return token.rows_charged
+
+    def test_charges_identical_across_execution_modes(self, small_db):
+        sql = example1_batch()
+        baseline = self._charged(small_db, sql)
+        assert baseline > 0
+        assert self._charged(small_db, sql, workers=4) == baseline
+        assert self._charged(small_db, sql, morsel_rows=1) == baseline
+        assert self._charged(small_db, sql, morsel_rows=7) == baseline
+        assert (
+            self._charged(
+                small_db, sql, options=OptimizerOptions(enable_fusion=False)
+            )
+            == baseline
+        )
+
+    def test_budget_boundary_is_exact(self, small_db):
+        sql = example1_batch()
+        charged = self._charged(small_db, sql)
+        session = Session(small_db)
+        result = session.optimize(sql)
+        session.execute_bundle(
+            result, token=QueryBudget(max_rows=charged).start()
+        )
+        with pytest.raises(BudgetExceededError):
+            session.execute_bundle(
+                result, token=QueryBudget(max_rows=charged - 1).start()
+            )
+
+    def test_spool_producer_output_not_double_charged(self, small_db):
+        """The spool body's top output flows only into the materialized
+        spool; consumers are charged at their SpoolRead. Charging both
+        would bill those rows twice per read."""
+        from repro.executor.iterators import execute_node, materialize_spool
+        from repro.executor.runtime import ExecutionContext
+
+        session = Session(small_db)
+        result = session.optimize(example1_batch())
+        assert result.bundle.root_spools
+        cse_id, body = result.bundle.root_spools[0]
+
+        def fresh_ctx():
+            return ExecutionContext(
+                database=small_db,
+                cost_model=session.cost_model,
+                token=QueryBudget(max_rows=10**12).start(),
+            )
+
+        ctx = fresh_ctx()
+        spool = materialize_spool(cse_id, body, ctx)
+        assert spool.row_count > 0
+        materialize_charge = ctx.token.rows_charged
+        # Evaluating the same body as a plain subplan charges its top
+        # output too — materialization must charge exactly that less.
+        plain = fresh_ctx()
+        execute_node(body, plain)
+        assert (
+            plain.token.rows_charged
+            == materialize_charge + spool.row_count
+        )
+        # And each consumer read is charged once, at the read.
+        read_node = next(
+            node
+            for query in result.bundle.queries
+            for node in query.plan.walk()
+            if isinstance(node, PhysSpoolRead) and node.cse_id == cse_id
+        )
+        reader = fresh_ctx()
+        reader.spools[cse_id] = spool
+        execute_node(read_node, reader)
+        assert reader.token.rows_charged == spool.row_count
+
+
+class TestGovernorPerMorsel:
+    def test_row_budget_trips_inside_fused_pipeline(self, small_db):
+        session = Session(
+            small_db,
+            default_budget=QueryBudget(max_rows=5, allow_fallback=False),
+        )
+        with pytest.raises(BudgetExceededError):
+            session.execute(FILTERED_SQL)
+
+    def test_deadline_checked_per_morsel(self, small_db):
+        """An already-cancelled token must stop the stream at the first
+        morsel checkpoint, not after the pipeline drained."""
+        from repro.executor.executor import Executor
+
+        session = Session(small_db, morsel_rows=1)
+        result = session.optimize(FILTERED_SQL)
+        token = QueryBudget(deadline_ms=10_000).start()
+        token.deadline = 0.0  # already expired
+        executor = Executor(
+            session.database, session.cost_model, morsel_rows=1
+        )
+        with pytest.raises(QueryTimeoutError):
+            executor.execute(result.bundle, token=token)

@@ -158,6 +158,41 @@ class TestPlanCache:
         assert cache.get(KEY_B) is not None
         assert cache.invalidations == 1
 
+    def test_invalidate_matches_mixed_case_put(self):
+        """put() must normalize table names: invalidation matches on
+        lower-cased names, so an entry stored under mixed-case DDL
+        spelling used to survive the mutation that should drop it."""
+        cache = PlanCache(4)
+        cache.put(KEY_A, object(), frozenset({"Orders", "LineItem"}))
+        # The database's mutation hook always fires lower-cased.
+        assert cache.invalidate("lineitem") == 1
+        assert cache.get(KEY_A) is None
+
+    def test_mixed_case_ddl_invalidates_session_cache(self):
+        """End to end: a mutation of a mixed-case table drops the cached
+        plan of a batch reading it."""
+        import numpy as np
+
+        from repro import Session
+        from repro.catalog.schema import ColumnSchema, TableSchema
+        from repro.storage.database import Database
+        from repro.types import DataType
+
+        database = Database()
+        database.create_table(
+            TableSchema(
+                name="CamelCase",
+                columns=[ColumnSchema("cc_id", DataType.INT)],
+            ),
+            {"cc_id": np.arange(10, dtype=np.int64)},
+        )
+        session = Session(database)
+        sql = "select cc_id from CamelCase"
+        session.execute(sql)
+        assert session.execute(sql).plan_cache_hit
+        database.insert("CamelCase", [(99,)])
+        assert not session.execute(sql).plan_cache_hit
+
     def test_invalidate_all(self):
         cache = PlanCache(4)
         cache.put(KEY_A, object(), frozenset({"customer"}))
