@@ -26,7 +26,7 @@ import weakref
 from contextlib import nullcontext
 from dataclasses import dataclass, replace
 from time import perf_counter
-from typing import Optional, Sequence, Union
+from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 from .errors import (
     BudgetExceededError,
@@ -58,6 +58,9 @@ from .serve.governor import CancellationToken, QueryBudget, ResourceGovernor
 from .sql.binder import Binder
 from .sql.parser import parse_batch
 from .storage.database import Database
+
+if TYPE_CHECKING:  # deferred: api → serve.coordinator → api cycle
+    from .serve.coordinator import SharedBatchCoordinator
 
 #: Workers used by ``execute(..., parallel=True)`` on a serial session.
 DEFAULT_PARALLEL_WORKERS = 4
@@ -136,6 +139,8 @@ class Session:
         default_budget: Optional[QueryBudget] = None,
         shared_scans: bool = True,
         morsel_rows: int = 4096,
+        coordinator: Optional["SharedBatchCoordinator"] = None,
+        share_window_ms: float = 0.0,
     ) -> None:
         self.database = database
         self.options = options or OptimizerOptions()
@@ -181,6 +186,23 @@ class Session:
         #: budget applied to every :meth:`execute` that does not pass its
         #: own (None = ungoverned).
         self.default_budget = default_budget
+        #: cross-session micro-batching (see
+        #: :class:`~repro.serve.coordinator.SharedBatchCoordinator`). Pass
+        #: a coordinator to share windows across sessions, or just
+        #: ``share_window_ms`` for a session-private one. Like the
+        #: governor, a coordinator built with the null registry inherits
+        #: the session's.
+        if coordinator is None and share_window_ms > 0:
+            from .serve.coordinator import SharedBatchCoordinator
+
+            coordinator = SharedBatchCoordinator(window_ms=share_window_ms)
+        self.coordinator = coordinator
+        if (
+            coordinator is not None
+            and coordinator.registry is NULL_REGISTRY
+            and self.registry is not NULL_REGISTRY
+        ):
+            coordinator.registry = self.registry
         self.workers = max(1, workers)
         self.plan_cache = None
         if plan_cache_size > 0:
@@ -296,29 +318,72 @@ class Session:
             # One root span per batch: optimization, governor events, and
             # every executor task (across worker threads) nest under it.
             with self.tracer.span("batch", queries=len(batch.queries)):
-                token = budget.start() if budget is not None else None
-                result, cache_hit, opt_fallback = self._optimize_governed(
-                    batch, budget, token
+                shared = self._try_shared(
+                    target, batch, budget, collect_op_stats
                 )
-                execution, exec_fallback = self._execute_governed(
-                    result, collect_op_stats, parallel, workers, budget,
-                    token,
-                )
+                if shared is not None:
+                    result = shared.optimization
+                    execution = shared.execution
+                    cache_hit = shared.plan_cache_hit
+                    reason = None
+                    ledger = shared.ledger
+                else:
+                    token = budget.start() if budget is not None else None
+                    result, cache_hit, opt_fallback = self._optimize_governed(
+                        batch, budget, token
+                    )
+                    execution, exec_fallback = self._execute_governed(
+                        result, collect_op_stats, parallel, workers, budget,
+                        token,
+                    )
+                    reason = opt_fallback or exec_fallback
+                    ledger = self._build_ledger(result, execution, reason)
         wall = perf_counter() - start
         self.registry.observe("serve.query_seconds", wall)
-        reason = opt_fallback or exec_fallback
         outcome = ExecutionOutcome(
             optimization=result,
             execution=execution,
             plan_cache_hit=cache_hit,
             degraded=reason is not None,
             fallback_reason=reason,
-            ledger=self._build_ledger(result, execution, reason),
+            ledger=ledger,
         )
         self._publish_ledger(outcome.ledger)
         if self.query_log.enabled:
             self._log_query(batch, outcome, wall)
         return outcome
+
+    def _try_shared(
+        self,
+        target: Union[str, BoundBatch, BoundQuery],
+        batch: BoundBatch,
+        budget: Optional[QueryBudget],
+        collect_op_stats: bool,
+    ):
+        """Offer the call to the cross-session coordinator, if eligible.
+
+        Only raw SQL targets are offered (the coordinator re-binds the
+        concatenated text), and only without deadline budgets: a wall-clock
+        deadline cannot be meaningfully charged against a shared window
+        another session opened. Row/spool budgets *are* eligible — the
+        coordinator charges them per consumer exactly once. Returns the
+        consumer's :class:`~repro.serve.coordinator.SharedOutcome` or
+        ``None`` (run on the ordinary path)."""
+        if self.coordinator is None or not self.coordinator.enabled:
+            return None
+        if not isinstance(target, str) or (
+            budget is not None
+            and (
+                budget.deadline_ms is not None
+                or budget.optimizer_deadline_ms is not None
+            )
+        ):
+            self.coordinator.note_bypass()
+            return None
+        return self.coordinator.submit(
+            self, target, batch,
+            budget=budget, collect_op_stats=collect_op_stats,
+        )
 
     def _build_ledger(
         self,

@@ -128,6 +128,23 @@ def build_parser() -> argparse.ArgumentParser:
             "(default 4096; 0 = whole frame in one morsel)"
         ),
     )
+    query.add_argument(
+        "--share-window-ms", type=float, metavar="MS", default=0.0,
+        help=(
+            "hold arriving queries up to MS milliseconds to merge them "
+            "with compatible concurrent queries into one shared "
+            "optimization (cross-session micro-batching; 0 = off)"
+        ),
+    )
+    query.add_argument(
+        "--cse-strategy", choices=("paper", "greedy", "auto"), default=None,
+        help=(
+            "Step-3 selection strategy: the paper's subset enumeration, "
+            "the greedy benefit-ordered AND-OR DAG heuristic "
+            "(cs/9910021), or auto (greedy above the candidate-count "
+            "threshold)"
+        ),
+    )
 
     explain = sub.add_parser("explain", help="print the optimized plan")
     explain.add_argument("sql")
@@ -157,8 +174,13 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "print the optimizer decision journal: every candidate CSE's "
             "lifecycle (signature bucket, H1-H4 verdicts with the numbers "
-            "used, LCA placement, keep/reject reason)"
+            "used, LCA placement, keep/reject reason), and which Step-3 "
+            "strategy ran and why"
         ),
+    )
+    explain.add_argument(
+        "--cse-strategy", choices=("paper", "greedy", "auto"), default=None,
+        help="Step-3 selection strategy (see `query --cse-strategy`)",
     )
 
     bench = sub.add_parser(
@@ -237,6 +259,10 @@ def _options(args: argparse.Namespace) -> OptimizerOptions:
         options = dataclasses.replace(options, reuse_history=False)
     if getattr(args, "no_fused", False):
         options = dataclasses.replace(options, enable_fusion=False)
+    if getattr(args, "cse_strategy", None):
+        options = dataclasses.replace(
+            options, cse_strategy=args.cse_strategy
+        )
     return options
 
 
@@ -267,6 +293,7 @@ def _cmd_query(args: argparse.Namespace, out) -> int:
         workers=workers,
         query_log=query_log,
         morsel_rows=args.morsel_rows,
+        share_window_ms=args.share_window_ms,
     )
     budget = None
     if (

@@ -303,7 +303,9 @@ def _hash_join(plan: PhysHashJoin, ctx: ExecutionContext) -> Frame:
     n_left = frame_length(left)
     n_right = frame_length(right)
     if plan.keys:
-        left_idx, right_idx = _equi_join_indices(plan.keys, left, right)
+        left_idx, right_idx = _equi_join_indices(
+            plan.keys, left, right, ctx
+        )
     else:
         left_idx = np.repeat(np.arange(n_left), n_right)
         right_idx = np.tile(np.arange(n_right), n_left)
@@ -374,29 +376,77 @@ def _null_extend(values: np.ndarray, pad: int) -> np.ndarray:
     )
 
 
-def _joint_codes(cols: List[np.ndarray]) -> np.ndarray:
+def _factorize(
+    col: np.ndarray, ctx: Optional[ExecutionContext] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(sorted uniques, int64 inverse codes)`` for one key column.
+
+    Routed through the batch's :class:`~repro.executor.runtime.KeyFactorCache`
+    when the context carries one: spool reads and shared scans alias the
+    producer's arrays, so every consumer of a CSE factorizes the *same*
+    ndarray objects and the per-column ``np.unique`` runs once per batch
+    instead of once per consumer."""
+    if ctx is not None and ctx.factor_cache is not None:
+        return ctx.factor_cache.factorize(col)
+    uniques, inverse = np.unique(col, return_inverse=True)
+    return uniques, inverse.astype(np.int64, copy=False)
+
+
+def _mix_codes(
+    codes: Optional[np.ndarray], inverse: np.ndarray
+) -> np.ndarray:
+    """Fold one more column's codes into the running combined codes,
+    re-compressing after every step so the combined code stays bounded by
+    the row count (no overflow for any key arity)."""
+    if codes is None:
+        return inverse
+    radix = int(inverse.max()) + 1 if len(inverse) else 1
+    _, codes = np.unique(codes * radix + inverse, return_inverse=True)
+    return codes.astype(np.int64, copy=False)
+
+
+def _joint_codes(
+    cols: List[np.ndarray], ctx: Optional[ExecutionContext] = None
+) -> np.ndarray:
     """Dense int64 codes per row, equal iff the key tuples are equal.
 
-    Each column is factorized with ``np.unique`` and the per-column codes
-    are mixed pairwise, re-compressing after every step so the combined
-    code stays bounded by the row count (no overflow for any key arity).
+    Each column is factorized with ``np.unique`` (memoized per batch via
+    ``ctx.factor_cache``) and the per-column codes are mixed pairwise.
     """
     codes: Optional[np.ndarray] = None
     for col in cols:
-        _, inverse = np.unique(col, return_inverse=True)
-        inverse = inverse.astype(np.int64, copy=False)
-        if codes is None:
-            codes = inverse
-            continue
-        radix = int(inverse.max()) + 1 if len(inverse) else 1
-        _, codes = np.unique(codes * radix + inverse, return_inverse=True)
-        codes = codes.astype(np.int64, copy=False)
+        _, inverse = _factorize(col, ctx)
+        codes = _mix_codes(codes, inverse)
     assert codes is not None
     return codes
 
 
+def _paired_codes(
+    lc: np.ndarray, rc: np.ndarray, ctx: Optional[ExecutionContext]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Codes for one join-key column pair, over a shared value domain.
+
+    Equivalent to splitting ``np.unique(concatenate([lc, rc]))``'s inverse
+    at ``len(lc)``, but factorizes each side independently (so both sides
+    hit the batch's factor cache) and only uniques the two *unique* sets —
+    small — to merge the domains. ``np.unique`` sorts and collapses NaNs
+    on both paths, so the merged codes are identical to the direct ones.
+    """
+    l_uniques, l_inverse = _factorize(lc, ctx)
+    r_uniques, r_inverse = _factorize(rc, ctx)
+    merged = np.concatenate([l_uniques, r_uniques])
+    _, merged_inverse = np.unique(merged, return_inverse=True)
+    merged_inverse = merged_inverse.astype(np.int64, copy=False)
+    left_map = merged_inverse[: len(l_uniques)]
+    right_map = merged_inverse[len(l_uniques):]
+    return left_map[l_inverse], right_map[r_inverse]
+
+
 def _equi_join_indices(
-    keys: Tuple[Tuple[Expr, Expr], ...], left: Frame, right: Frame
+    keys: Tuple[Tuple[Expr, Expr], ...],
+    left: Frame,
+    right: Frame,
+    ctx: Optional[ExecutionContext] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Matching (left, right) row indices for an equi join.
 
@@ -407,12 +457,16 @@ def _equi_join_indices(
     """
     n_left = frame_length(left)
     n_right = frame_length(right)
-    left_cols = [evaluate(l, left) for l, _ in keys]
-    right_cols = [evaluate(r, right) for _, r in keys]
-    combined = [
-        np.concatenate([lc, rc]) for lc, rc in zip(left_cols, right_cols)
-    ]
-    codes = _joint_codes(combined)
+    # Mix jointly over the concatenated rows (codes must stay comparable
+    # across sides); only the per-column factorization is split per side
+    # so it can hit the cache.
+    codes: Optional[np.ndarray] = None
+    for l_expr, r_expr in keys:
+        lc, rc = _paired_codes(
+            evaluate(l_expr, left), evaluate(r_expr, right), ctx
+        )
+        codes = _mix_codes(codes, np.concatenate([lc, rc]))
+    assert codes is not None
     left_codes, right_codes = codes[:n_left], codes[n_left:]
     order = np.argsort(left_codes, kind="stable")
     sorted_codes = left_codes[order]
@@ -436,13 +490,17 @@ def _equi_join_indices(
 # ---------------------------------------------------------------------------
 
 
-def _group_ids(keys: Tuple[Expr, ...], frame: Frame) -> Tuple[np.ndarray, int, Frame]:
+def _group_ids(
+    keys: Tuple[Expr, ...],
+    frame: Frame,
+    ctx: Optional[ExecutionContext] = None,
+) -> Tuple[np.ndarray, int, Frame]:
     """(group id per row, group count, frame of group-key columns)."""
     n = frame_length(frame)
     if not keys:
         return np.zeros(n, dtype=np.int64), (1 if n else 1), {}
     key_cols = [evaluate(k, frame) for k in keys]
-    codes = _joint_codes(key_cols)
+    codes = _joint_codes(key_cols, ctx)
     _, first_idx, inverse = np.unique(
         codes, return_index=True, return_inverse=True
     )
@@ -466,7 +524,7 @@ def _group_ids(keys: Tuple[Expr, ...], frame: Frame) -> Tuple[np.ndarray, int, F
 def _hash_agg(plan: PhysHashAgg, ctx: ExecutionContext) -> Frame:
     frame = execute_node(plan.child, ctx)
     n = frame_length(frame)
-    gids, count, out = _group_ids(plan.keys, frame)
+    gids, count, out = _group_ids(plan.keys, frame, ctx)
     if not plan.keys and n == 0:
         # Scalar aggregate over an empty input: one group with zero rows.
         count = 1

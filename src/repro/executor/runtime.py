@@ -18,8 +18,11 @@ near-free when off):
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from ..obs import NULL_REGISTRY, NULL_TRACER, MetricsRegistry, OperatorStats, Tracer
 from ..optimizer.cost import CostModel
@@ -111,6 +114,120 @@ class ScanStats:
         self.cost_units += other.cost_units
 
 
+class KeyFactorCache:
+    """Batch-scoped memo of per-column key factorizations.
+
+    ``np.unique(col, return_inverse=True)`` dominates join/group-by key
+    processing, and a shared batch evaluates it repeatedly over the *same*
+    physical arrays: spool reads alias the producer worktable's columns and
+    shared scans alias the cached fetch, so every consumer of a CSE hands
+    the identical ndarray objects back to ``_joint_codes``. This cache
+    keys on array identity — ``id(col)`` plus a strong reference to the
+    array itself, which both pins the id against reuse and lets a cheap
+    ``is`` check reject hash collisions from a dead object's recycled id.
+
+    Lifetime is one batch execution (created per ``execute`` call, shared
+    across parallel tasks like ``spools``), so entries never outlive the
+    frames they describe. Thread-safe: lookups and inserts take one lock;
+    a racing duplicate factorization is harmless (last write wins, values
+    are equal).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: id(col) -> (col, uniques, inverse codes)
+        self._entries: Dict[
+            int, Tuple[np.ndarray, np.ndarray, np.ndarray]
+        ] = {}
+        self.factorizations = 0
+        self.reuses = 0
+
+    def factorize(
+        self, col: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(uniques, int64 inverse codes)`` for one key column."""
+        key = id(col)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[0] is col:
+                self.reuses += 1
+                return entry[1], entry[2]
+        uniques, inverse = np.unique(col, return_inverse=True)
+        inverse = inverse.astype(np.int64, copy=False)
+        with self._lock:
+            self.factorizations += 1
+            self._entries[key] = (col, uniques, inverse)
+        return uniques, inverse
+
+
+class SharedSpoolPool:
+    """Refcounted spool storage for one coordinator-merged batch.
+
+    The cross-session coordinator materializes each shared spool exactly
+    once (the producer phase), then serves every consumer from this pool.
+    ``publish`` records how many consumers will read a spool; each
+    consumer ``attach``-es the worktable (aliasing, never copying) and
+    ``detach``-es when its queries finish. The last detach drops the
+    pool's reference so the arrays become collectable as soon as no
+    consumer result aliases them — spools never wait for the whole merged
+    batch to drain.
+
+    Thread-safe: consumers run on their own session threads.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._tables: Dict[str, WorkTable] = {}
+        self._refcounts: Dict[str, int] = {}
+        self.published = 0
+        self.freed = 0
+
+    def publish(self, cse_id: str, table: WorkTable, consumers: int) -> None:
+        """Register a materialized spool with its consumer refcount.
+
+        A spool no consumer reads (``consumers == 0``) is dropped
+        immediately — it never occupies the pool."""
+        with self._lock:
+            self.published += 1
+            if consumers <= 0:
+                self.freed += 1
+                return
+            self._tables[cse_id] = table
+            self._refcounts[cse_id] = consumers
+
+    def attach(self, cse_id: str) -> WorkTable:
+        """The published worktable for ``cse_id`` (error if unknown/freed)."""
+        with self._lock:
+            try:
+                return self._tables[cse_id]
+            except KeyError:
+                from ..errors import ExecutionError
+
+                raise ExecutionError(
+                    f"shared spool {cse_id!r} attached after free "
+                    "(refcount underflow) or before publication"
+                ) from None
+
+    def detach(self, cse_id: str) -> bool:
+        """Drop one consumer reference; True when this detach freed it."""
+        with self._lock:
+            remaining = self._refcounts.get(cse_id, 0) - 1
+            if remaining > 0:
+                self._refcounts[cse_id] = remaining
+                return False
+            self._refcounts.pop(cse_id, None)
+            if self._tables.pop(cse_id, None) is not None:
+                self.freed += 1
+                return True
+            return False
+
+    @property
+    def live(self) -> int:
+        """Spools currently held (published minus freed)."""
+        with self._lock:
+            return len(self._tables)
+
+
 @dataclass
 class ExecutionMetrics:
     """Deterministic work counters accumulated during execution."""
@@ -124,6 +241,12 @@ class ExecutionMetrics:
     spool_rows_read: int = 0
     spools_materialized: int = 0
     operator_invocations: int = 0
+    #: join/group-by key columns factorized (``np.unique`` actually run)
+    #: vs. served from the batch's :class:`KeyFactorCache`. Copied from
+    #: the cache once per batch (the cache is shared across tasks, so
+    #: per-task metrics never carry partial counts).
+    key_factorizations: int = 0
+    key_factor_reuses: int = 0
     spool_stats: Dict[str, SpoolStats] = field(default_factory=dict)
     #: per-(table, column-set) shared-scan accounting, keyed like
     #: ``"lineitem[l_orderkey+l_quantity]"``.
@@ -154,6 +277,8 @@ class ExecutionMetrics:
         self.spool_rows_read += other.spool_rows_read
         self.spools_materialized += other.spools_materialized
         self.operator_invocations += other.operator_invocations
+        self.key_factorizations += other.key_factorizations
+        self.key_factor_reuses += other.key_factor_reuses
         for cse_id, stats in other.spool_stats.items():
             self.spool(cse_id).merge(stats)
         for key, scan in other.scan_stats.items():
@@ -177,6 +302,13 @@ class ExecutionMetrics:
         registry.counter(
             "executor.operator_invocations", self.operator_invocations
         )
+        if self.key_factorizations or self.key_factor_reuses:
+            registry.counter(
+                "executor.key_factorizations", self.key_factorizations
+            )
+            registry.counter(
+                "executor.key_factor_reuses", self.key_factor_reuses
+            )
         if self.scan_stats:
             registry.counter("executor.scan.reads", sum(
                 s.reads for s in self.scan_stats.values()
@@ -221,6 +353,10 @@ class ExecutionContext:
     #: batch-wide shared-scan manager (engine v2). None falls back to the
     #: per-consumer physical scan of v1.
     scans: Optional["ScanManager"] = None
+    #: batch-wide key-factorization memo, shared across tasks like
+    #: ``spools``. None disables memoization (every join/group-by
+    #: factorizes its keys from scratch).
+    factor_cache: Optional[KeyFactorCache] = None
     #: morsel size for fused streaming pipelines (rows per morsel).
     morsel_rows: int = 4096
 

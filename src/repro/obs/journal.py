@@ -50,6 +50,11 @@ kind                      meaning / key fields
                           ``groups_recomputed``, ``planset_hits``,
                           ``tops_folded``, ``reuse`` (hit ratio),
                           ``seconds``
+``strategy``              which Step-3 strategy ran and why: ``strategy``
+                          (``paper`` / ``greedy``), ``reason``,
+                          ``candidates``
+``greedy_pick``           one greedy acceptance (cs/9910021): ``cse_id``,
+                          ``benefit``, ``cost``, ``rank``, ``evaluations``
 ``verdict``               final outcome: ``cse_id``, ``kept``, ``reason``
 ========================  ====================================================
 """
@@ -178,6 +183,23 @@ class DecisionJournal:
         if equiv_lines:
             lines.append("equivalence checker (outer-join simplification):")
             lines.extend(equiv_lines)
+
+        for entry in self.events("strategy"):
+            lines.append(
+                f"step-3 strategy: {entry.get('strategy')} over "
+                f"{entry.get('candidates')} candidate(s) — "
+                f"{entry.get('reason')}"
+            )
+        picks = self.events("greedy_pick")
+        if picks:
+            lines.append("greedy selection (benefit-ordered, cs/9910021):")
+            for entry in picks:
+                lines.append(
+                    f"  pick #{entry.get('rank')}: {entry.get('cse_id')} "
+                    f"benefit {entry.get('benefit', 0.0):.1f} → plan cost "
+                    f"{entry.get('cost', 0.0):.1f} "
+                    f"({entry.get('evaluations')} pass(es) spent)"
+                )
 
         history = self.events("history")
         if history:

@@ -51,6 +51,7 @@ from ..obs import (
 from ..storage.database import Database
 from .cardinality import CardinalityEstimator
 from .cost import CostModel
+from .greedy import greedy_select, select_strategy
 from .memo import (
     AggImplExpr,
     Group,
@@ -215,6 +216,13 @@ class OptimizerStats:
     history_misses: int = 0
     history_groups_reused: int = 0
     history_tops_folded: int = 0
+    #: which Step-3 strategy ran: ``"paper"`` (subset enumeration),
+    #: ``"greedy"`` (Roy et al. benefit-ordered selection), or ``""`` when
+    #: Step 3 never ran (no candidates / CSE disabled).
+    strategy: str = ""
+    #: why that strategy was chosen (mirrors the journal's ``strategy``
+    #: event, so EXPLAIN surfaces carry the same sentence).
+    strategy_reason: str = ""
     used_cses: List[str] = field(default_factory=list)
     candidate_ids: List[str] = field(default_factory=list)
     prune_trace: Optional[PruneTrace] = None
@@ -520,47 +528,31 @@ class Optimizer:
             )
 
         # --- Step 3: optimization with candidate subsets ----------------------
-        with self.tracer.span("cse_optimization"):
+        strategy, reason = select_strategy(
+            self.options.cse_strategy,
+            len(candidates),
+            self.options.greedy_threshold,
+        )
+        stats.strategy = strategy
+        stats.strategy_reason = reason
+        self.journal.event(
+            "strategy",
+            strategy=strategy,
+            reason=reason,
+            candidates=len(candidates),
+        )
+        self.tracer.event("cse_strategy", strategy=strategy, reason=reason)
+        self.registry.counter(f"strategy.{strategy}.runs")
+        with self.tracer.span("cse_optimization", strategy=strategy):
             step3_start = time.perf_counter()
-            enumerator = SubsetEnumerator(
-                candidates, memo, self.options.max_cse_optimizations
-            )
-            best_cost = base_cost
-            best_bundle = base_bundle
-            reuse = self.options.reuse_history
-            while True:
-                self._check_deadline()
-                subset = enumerator.next_subset()
-                if subset is None:
-                    break
-                enabled = tuple(
-                    c for c in candidates if c.cse_id in subset
+            if strategy == "greedy":
+                best_cost, best_bundle = self._step3_greedy(
+                    candidates, base_cost, base_bundle
                 )
-                ctx = self._build_pass_context(enabled)
-                stats.cse_optimizations += 1
-                self._begin_pass(stats.cse_optimizations)
-                if not reuse:
-                    # §5.4 off: forget all history so this pass re-optimizes
-                    # every group from scratch — the naive per-subset loop
-                    # the paper improves on.
-                    self._plan_cache.clear()
-                    self._cache_pass.clear()
-                    self._finalize_cache.clear()
-                    self._fold_cache.clear()
-                pass_start = time.perf_counter()
-                with self.tracer.span(
-                    "cse_pass", subset=sorted(subset)
-                ) as span:
-                    cost, bundle = self._assemble(ctx)
-                    used = frozenset(bundle.used_cses())
-                    if span is not None:
-                        span.attrs["cost"] = round(cost, 2)
-                        span.attrs["used"] = sorted(used)
-                self._end_pass(subset, time.perf_counter() - pass_start)
-                enumerator.report(subset, used)
-                if cost < best_cost:
-                    best_cost = cost
-                    best_bundle = bundle
+            else:
+                best_cost, best_bundle = self._step3_paper(
+                    candidates, memo, base_cost, base_bundle
+                )
             stats.step3_time = time.perf_counter() - step3_start
 
         stats.est_cost_final = best_cost
@@ -637,6 +629,85 @@ class Optimizer:
                     ),
                     equiv=equiv,
                 )
+
+    # ------------------------------------------------------------------
+    # Step-3 strategies
+    # ------------------------------------------------------------------
+
+    def _run_pass(
+        self, candidates: List[CandidateCse], subset: FrozenSet[str]
+    ) -> Tuple[float, PlanBundle, FrozenSet[str]]:
+        """One Step-3 optimization pass with ``subset`` enabled.
+
+        Shared by both strategies: builds the pass context, keeps the
+        §5.4 history accounting honest (or wipes the caches when reuse is
+        off), and reports the pass to tracer and journal."""
+        stats = self._stats
+        enabled = tuple(c for c in candidates if c.cse_id in subset)
+        ctx = self._build_pass_context(enabled)
+        stats.cse_optimizations += 1
+        self._begin_pass(stats.cse_optimizations)
+        if not self.options.reuse_history:
+            # §5.4 off: forget all history so this pass re-optimizes
+            # every group from scratch — the naive per-subset loop
+            # the paper improves on.
+            self._plan_cache.clear()
+            self._cache_pass.clear()
+            self._finalize_cache.clear()
+            self._fold_cache.clear()
+        pass_start = time.perf_counter()
+        with self.tracer.span("cse_pass", subset=sorted(subset)) as span:
+            cost, bundle = self._assemble(ctx)
+            used = frozenset(bundle.used_cses())
+            if span is not None:
+                span.attrs["cost"] = round(cost, 2)
+                span.attrs["used"] = sorted(used)
+        self._end_pass(frozenset(subset), time.perf_counter() - pass_start)
+        return cost, bundle, used
+
+    def _step3_paper(
+        self,
+        candidates: List[CandidateCse],
+        memo: Memo,
+        base_cost: float,
+        base_bundle: PlanBundle,
+    ) -> Tuple[float, PlanBundle]:
+        """The paper's §5.3 subset enumeration (Props 5.4–5.6 pruning)."""
+        enumerator = SubsetEnumerator(
+            candidates, memo, self.options.max_cse_optimizations
+        )
+        best_cost = base_cost
+        best_bundle = base_bundle
+        while True:
+            self._check_deadline()
+            subset = enumerator.next_subset()
+            if subset is None:
+                break
+            cost, bundle, used = self._run_pass(candidates, subset)
+            enumerator.report(subset, used)
+            if cost < best_cost:
+                best_cost = cost
+                best_bundle = bundle
+        return best_cost, best_bundle
+
+    def _step3_greedy(
+        self,
+        candidates: List[CandidateCse],
+        base_cost: float,
+        base_bundle: PlanBundle,
+    ) -> Tuple[float, PlanBundle]:
+        """Roy et al.'s greedy benefit-ordered selection (cs/9910021)."""
+        outcome = greedy_select(
+            candidates,
+            base_cost,
+            base_bundle,
+            lambda subset: self._run_pass(candidates, subset),
+            max_evaluations=self.options.max_cse_optimizations,
+            journal=self.journal,
+            registry=self.registry,
+            check_deadline=self._check_deadline,
+        )
+        return outcome.cost, outcome.bundle
 
     # ------------------------------------------------------------------
     # Candidate generation (Step 2)

@@ -1,0 +1,160 @@
+"""Greedy benefit-ordered Step-3 selection (Roy et al., arXiv cs/9910021).
+
+The paper's Step 3 re-optimizes the batch once per enumerated candidate
+subset — correct and thorough, but the pass count grows with the subset
+lattice, which is exactly what a coordinator-merged cross-session batch
+with dozens of candidates cannot afford. Roy et al.'s greedy algorithm
+replaces enumeration with *incremental global selection over the AND-OR
+DAG*: starting from the empty selection, repeatedly materialize the
+candidate whose marginal benefit (cost of the best plan with the current
+selection minus cost with the candidate added) is largest, and stop when
+no candidate improves the plan.
+
+Two of Roy et al.'s optimizations shape the implementation:
+
+* **Lazy re-evaluation (the "monotonicity heuristic").** Benefits are kept
+  in a max-heap seeded with the Definition 5.1 upper bound
+  ``n·C_E − (C_E + C_W + n·C_R)``. Popping a stale entry re-evaluates it
+  against the *current* selection and pushes it back; a popped entry that
+  is already fresh is the true maximum (assuming benefits shrink as the
+  selection grows — the same monotonicity Roy et al. exploit) and is
+  accepted without touching the rest of the heap. In the common case each
+  accepted candidate costs one or two optimization passes, so the total
+  pass count is near-linear in the number of selected candidates.
+* **Incremental passes are cheap.** Each evaluation reuses the engine's
+  §5.4 optimization-history caches: enabling one more candidate
+  re-optimizes only the groups whose footprints intersect it, so a greedy
+  pass touches a sliver of what a fresh enumeration pass would.
+
+The module is deliberately engine-agnostic: it drives the optimizer
+through one callback (``run_pass``) and reports through the journal and
+registry it is handed, so it can be unit-tested against a synthetic cost
+surface without building a memo.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..cse.candidates import CandidateCse
+from ..obs import NULL_JOURNAL, NULL_REGISTRY, DecisionJournal, MetricsRegistry
+
+#: one optimization pass: enabled ids -> (cost, bundle, used ids).
+PassRunner = Callable[[FrozenSet[str]], Tuple[float, object, FrozenSet[str]]]
+
+
+def definition_benefit(candidate: CandidateCse) -> float:
+    """The Definition 5.1 upper bound on a candidate's benefit.
+
+    With every potential consumer substituting, sharing saves
+    ``n·C_E`` recomputations and costs ``C_E + C_W`` once plus ``C_R``
+    per consumer. Actual benefits are at most this (consumers may decline
+    the substitution), which is what makes it a sound heap seed."""
+    n = len(candidate.definition.consumer_groups)
+    return (
+        n * candidate.body_cost
+        - (candidate.initial_cost + n * candidate.read_cost)
+    )
+
+
+@dataclass
+class GreedyOutcome:
+    """What one greedy selection run produced."""
+
+    cost: float
+    bundle: object
+    #: ids accepted into the selection, in acceptance order.
+    selected: List[str] = field(default_factory=list)
+    #: optimization passes spent (the quantity greedy minimizes).
+    evaluations: int = 0
+
+
+def greedy_select(
+    candidates: Sequence[CandidateCse],
+    base_cost: float,
+    base_bundle: object,
+    run_pass: PassRunner,
+    max_evaluations: int = 128,
+    journal: Optional[DecisionJournal] = None,
+    registry: Optional[MetricsRegistry] = None,
+    check_deadline: Optional[Callable[[], None]] = None,
+) -> GreedyOutcome:
+    """Greedy benefit-ordered candidate selection.
+
+    ``run_pass`` performs one optimization with the given candidate ids
+    enabled and returns ``(cost, bundle, used_ids)``; it is called at most
+    ``max_evaluations`` times. Deterministic: heap ties break on candidate
+    id, so equal-benefit candidates are accepted in id order."""
+    journal = journal if journal is not None else NULL_JOURNAL
+    registry = registry or NULL_REGISTRY
+    outcome = GreedyOutcome(cost=base_cost, bundle=base_bundle)
+    selected: FrozenSet[str] = frozenset()
+    #: bumped on every acceptance; heap entries carry the generation their
+    #: benefit was computed against (-1 = the Def 5.1 seed bound).
+    generation = 0
+    #: (negated benefit, cse_id, generation) — a max-heap via negation.
+    heap: List[Tuple[float, str, int]] = [
+        (-definition_benefit(candidate), candidate.cse_id, -1)
+        for candidate in candidates
+    ]
+    heapq.heapify(heap)
+    #: cse_id -> (cost, bundle) of its latest evaluation.
+    latest: dict = {}
+    while heap and outcome.evaluations < max_evaluations:
+        if check_deadline is not None:
+            check_deadline()
+        neg_benefit, cse_id, at_generation = heapq.heappop(heap)
+        if cse_id in selected:
+            continue
+        if at_generation == generation:
+            benefit = -neg_benefit
+            if benefit <= 0:
+                # The freshest maximum does not pay for itself; under
+                # benefit monotonicity nothing below it can either.
+                break
+            selected = selected | {cse_id}
+            outcome.cost, outcome.bundle = latest[cse_id]
+            outcome.selected.append(cse_id)
+            generation += 1
+            journal.event(
+                "greedy_pick",
+                cse_id=cse_id,
+                benefit=round(benefit, 4),
+                cost=round(outcome.cost, 4),
+                rank=len(outcome.selected),
+                evaluations=outcome.evaluations,
+            )
+            continue
+        # Stale (seed bound or computed against an older selection):
+        # re-evaluate against the current selection and re-queue.
+        cost, bundle, _used = run_pass(selected | {cse_id})
+        outcome.evaluations += 1
+        latest[cse_id] = (cost, bundle)
+        heapq.heappush(heap, (-(outcome.cost - cost), cse_id, generation))
+    registry.counter("strategy.greedy.evaluations", outcome.evaluations)
+    registry.counter("strategy.greedy.selected", len(outcome.selected))
+    return outcome
+
+
+def select_strategy(
+    configured: str, candidate_count: int, threshold: int
+) -> Tuple[str, str]:
+    """Resolve the configured ``cse_strategy`` to a concrete strategy.
+
+    Returns ``(strategy, reason)`` where ``reason`` is the human-readable
+    sentence the journal/EXPLAIN ``--why`` report carries."""
+    if configured == "paper":
+        return "paper", "cse_strategy='paper' (configured)"
+    if configured == "greedy":
+        return "greedy", "cse_strategy='greedy' (configured)"
+    if candidate_count > threshold:
+        return "greedy", (
+            f"cse_strategy='auto': {candidate_count} candidates > "
+            f"greedy_threshold={threshold}"
+        )
+    return "paper", (
+        f"cse_strategy='auto': {candidate_count} candidates <= "
+        f"greedy_threshold={threshold}"
+    )

@@ -75,6 +75,23 @@ class OptimizerOptions:
     max_candidates: int = 64
     max_cse_optimizations: int = 128
 
+    #: Step-3 selection strategy. ``"paper"`` is the paper's §5.3 subset
+    #: enumeration (independence-pruned passes over candidate subsets).
+    #: ``"greedy"`` is Roy et al.'s benefit-ordered greedy selection over
+    #: the AND-OR DAG (arXiv cs/9910021): candidates are materialized one
+    #: at a time in descending marginal-benefit order, with lazily
+    #: re-evaluated benefits, so large candidate sets optimize in
+    #: near-linear passes instead of up to ``max_cse_optimizations``
+    #: subsets. ``"auto"`` picks greedy once the candidate count exceeds
+    #: ``greedy_threshold`` (what coordinator-merged cross-session batches
+    #: hit) and the paper enumeration below it. Part of the plan-cache
+    #: config key: changing the strategy re-keys cached plans.
+    cse_strategy: str = "paper"
+
+    #: ``cse_strategy="auto"`` switches to greedy selection strictly above
+    #: this candidate count.
+    greedy_threshold: int = 12
+
     #: §5.4 optimization-history reuse: keep per-group plan sets (keyed by
     #: the group's candidate footprint ∩ the enabled set), finalized
     #: per-query plan sets, and folded assembly prefixes alive across
@@ -105,6 +122,10 @@ class OptimizerOptions:
     def __post_init__(self) -> None:
         if self.cost_mode not in ("profile", "naive_split"):
             raise ValueError(f"unknown cost_mode {self.cost_mode!r}")
+        if self.cse_strategy not in ("paper", "greedy", "auto"):
+            raise ValueError(f"unknown cse_strategy {self.cse_strategy!r}")
+        if self.greedy_threshold < 0:
+            raise ValueError("greedy_threshold must be non-negative")
         if not 0.0 <= self.alpha <= 1.0:
             raise ValueError("alpha must be within [0, 1]")
         if not 0.0 <= self.beta:

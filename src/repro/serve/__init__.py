@@ -11,12 +11,16 @@ to the paper's §5.4/§5.5.
 """
 
 from .cache import CacheEntry, PlanCache
+from .coordinator import SharedBatchCoordinator, SharedOutcome
 from .fingerprint import (
     CacheKey,
     batch_fingerprint,
+    batch_signatures,
     batch_tables,
     cache_key,
     config_key,
+    query_fingerprint,
+    query_table_signature,
 )
 from .governor import CancellationToken, QueryBudget, ResourceGovernor
 from .parallel import ParallelExecutor
@@ -31,10 +35,15 @@ __all__ = [
     "QueryBudget",
     "ResourceGovernor",
     "Schedule",
+    "SharedBatchCoordinator",
+    "SharedOutcome",
     "TaskSpec",
     "batch_fingerprint",
+    "batch_signatures",
     "batch_tables",
     "build_schedule",
     "cache_key",
     "config_key",
+    "query_fingerprint",
+    "query_table_signature",
 ]

@@ -30,10 +30,11 @@ fallbacks, the :class:`~repro.obs.DecisionJournal`.
 from __future__ import annotations
 
 import threading
+from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass
 from time import monotonic
-from typing import Iterator, Optional
+from typing import Deque, Iterator, Optional
 
 from ..errors import (
     AdmissionError,
@@ -257,12 +258,21 @@ class CancellationToken:
 
 
 class ResourceGovernor:
-    """Admission control: bounded concurrency with a bounded wait queue.
+    """Admission control: bounded concurrency with a bounded FIFO queue.
 
     At most ``max_concurrent`` batches run at once. Up to ``max_queue``
-    further batches wait (FIFO via the semaphore), each for at most
-    ``queue_timeout_ms`` (None = indefinitely); anything beyond either
-    bound is rejected with :class:`~repro.errors.AdmissionError`.
+    further batches wait, each for at most ``queue_timeout_ms`` (None =
+    indefinitely); anything beyond either bound is rejected with
+    :class:`~repro.errors.AdmissionError`.
+
+    Queue order is *deterministic FIFO*: each waiter takes a ticket on
+    arrival and a released slot always goes to the oldest waiting ticket.
+    (A bare ``Semaphore`` makes no wake-up ordering promise — under
+    contention waiters raced and admission order was whatever the OS
+    scheduler picked; the micro-batching coordinator sits behind this
+    queue, so arrival order must survive admission for its windows to be
+    reproducible.) A new arrival never barges past existing waiters even
+    when a slot is momentarily free.
 
     Metrics (``governor.*``): ``admitted`` / ``rejected`` counters, an
     ``active`` gauge, and a ``queue_wait_seconds`` histogram.
@@ -285,70 +295,93 @@ class ResourceGovernor:
         self.max_queue = max_queue
         self.queue_timeout_ms = queue_timeout_ms
         self.registry = registry or NULL_REGISTRY
-        self._semaphore = threading.Semaphore(max_concurrent)
-        self._lock = threading.Lock()
-        self._waiting = 0
+        self._cond = threading.Condition(threading.Lock())
+        #: waiting tickets in arrival order; the head is next to admit.
+        self._queue: Deque[int] = deque()
+        self._next_ticket = 0
         self._active = 0
 
     @property
     def active(self) -> int:
         """Batches currently admitted (executing)."""
-        with self._lock:
+        with self._cond:
             return self._active
 
     @property
     def waiting(self) -> int:
         """Batches currently queued for admission."""
-        with self._lock:
-            return self._waiting
+        with self._cond:
+            return len(self._queue)
+
+    def _admit_or_enqueue(self) -> Optional[int]:
+        """Fast path under the lock: admit now (None) or return a ticket.
+
+        Raises :class:`AdmissionError` when the queue is full."""
+        with self._cond:
+            # Admit immediately only when no one is already waiting — a
+            # free slot must go to the queue head, not a new arrival.
+            if self._active < self.max_concurrent and not self._queue:
+                self._active += 1
+                return None
+            if len(self._queue) >= self.max_queue:
+                self.registry.counter("governor.rejected")
+                raise AdmissionError(
+                    f"admission queue full ({len(self._queue)} waiting, "
+                    f"max_queue={self.max_queue})"
+                )
+            ticket = self._next_ticket
+            self._next_ticket += 1
+            self._queue.append(ticket)
+            return ticket
+
+    def _wait_for_turn(self, ticket: int) -> None:
+        """Block until ``ticket`` reaches the head with a free slot."""
+        deadline = (
+            monotonic() + self.queue_timeout_ms / 1000.0
+            if self.queue_timeout_ms is not None
+            else None
+        )
+        with self._cond:
+            while not (
+                self._queue[0] == ticket
+                and self._active < self.max_concurrent
+            ):
+                remaining = (
+                    None if deadline is None else deadline - monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    self._queue.remove(ticket)
+                    # Our departure may unblock the new head.
+                    self._cond.notify_all()
+                    self.registry.counter("governor.rejected")
+                    raise AdmissionError(
+                        f"admission wait exceeded {self.queue_timeout_ms}ms "
+                        f"({self.max_concurrent} batches active)"
+                    )
+                self._cond.wait(timeout=remaining)
+            self._queue.popleft()
+            self._active += 1
+            # Further slots may be free (several releases can land before
+            # the head wakes); let the next ticket re-check.
+            self._cond.notify_all()
 
     @contextmanager
     def admit(self) -> Iterator["ResourceGovernor"]:
         """Acquire an execution slot for one batch (context manager)."""
-        with self._lock:
-            # A free slot never queues; only genuine waiters count against
-            # the queue bound.
-            has_slot = self._semaphore.acquire(blocking=False)
-            if has_slot:
-                self._active += 1
-            else:
-                if self._waiting >= self.max_queue:
-                    self.registry.counter("governor.rejected")
-                    raise AdmissionError(
-                        f"admission queue full ({self._waiting} waiting, "
-                        f"max_queue={self.max_queue})"
-                    )
-                self._waiting += 1
+        ticket = self._admit_or_enqueue()
         start = monotonic()
-        if not has_slot:
-            timeout = (
-                self.queue_timeout_ms / 1000.0
-                if self.queue_timeout_ms is not None
-                else None
-            )
-            try:
-                acquired = self._semaphore.acquire(timeout=timeout)
-            finally:
-                with self._lock:
-                    self._waiting -= 1
-            if not acquired:
-                self.registry.counter("governor.rejected")
-                raise AdmissionError(
-                    f"admission wait exceeded {self.queue_timeout_ms}ms "
-                    f"({self.max_concurrent} batches active)"
-                )
-            with self._lock:
-                self._active += 1
+        if ticket is not None:
+            self._wait_for_turn(ticket)
         self.registry.counter("governor.admitted")
         self.registry.observe(
             "governor.queue_wait_seconds", monotonic() - start
         )
-        with self._lock:
+        with self._cond:
             self.registry.gauge("governor.active", self._active)
         try:
             yield self
         finally:
-            with self._lock:
+            with self._cond:
                 self._active -= 1
                 self.registry.gauge("governor.active", self._active)
-            self._semaphore.release()
+                self._cond.notify_all()

@@ -303,3 +303,161 @@ class TestFullExecution:
         outcome = small_session.execute("select r_name from region")
         with pytest.raises(ExecutionError):
             outcome.execution.query("nope")
+
+
+# ---------------------------------------------------------------------------
+# Key-factorization memoization
+# ---------------------------------------------------------------------------
+
+
+class TestKeyFactorCache:
+    def _frames(self, seed):
+        """Random left/right frames with int, NaN-bearing float, and
+        string key columns (the three dtype regimes np.unique handles
+        differently), plus payloads."""
+        from repro.expr.expressions import ColumnRef, TableRef
+        from repro.types import DataType
+
+        rng = np.random.default_rng(seed)
+        n_left, n_right = int(rng.integers(1, 60)), int(rng.integers(1, 60))
+        lref, rref = TableRef("l", 1), TableRef("r", 2)
+
+        def cols(ref, n):
+            ints = rng.integers(0, 8, size=n).astype(np.int64)
+            floats = rng.choice(
+                [0.5, 1.5, np.nan, 2.5], size=n
+            ).astype(np.float64)
+            strs = rng.choice(
+                np.array(["a", "b", "c"], dtype=object), size=n
+            )
+            return {
+                ColumnRef(ref, "k1", DataType.INT): ints,
+                ColumnRef(ref, "k2", DataType.FLOAT): floats,
+                ColumnRef(ref, "k3", DataType.STRING): strs,
+                ColumnRef(ref, "pay", DataType.INT): np.arange(
+                    n, dtype=np.int64
+                ),
+            }
+
+        left = cols(lref, n_left)
+        right = cols(rref, n_right)
+        keys = tuple(
+            (lk, rk)
+            for lk, rk in zip(list(left)[:3], list(right)[:3])
+        )
+        return left, right, keys
+
+    def _reference_indices(self, keys, left, right):
+        """The pre-cache implementation: factorize the *concatenated*
+        columns directly (no per-side split, no memo)."""
+        from repro.executor.iterators import _mix_codes
+        from repro.expr.evaluator import evaluate, frame_length
+
+        n_left = frame_length(left)
+        n_right = frame_length(right)
+        codes = None
+        for l_expr, r_expr in keys:
+            combined = np.concatenate(
+                [evaluate(l_expr, left), evaluate(r_expr, right)]
+            )
+            _, inverse = np.unique(combined, return_inverse=True)
+            codes = _mix_codes(codes, inverse.astype(np.int64, copy=False))
+        left_codes, right_codes = codes[:n_left], codes[n_left:]
+        order = np.argsort(left_codes, kind="stable")
+        sorted_codes = left_codes[order]
+        lo = np.searchsorted(sorted_codes, right_codes, side="left")
+        hi = np.searchsorted(sorted_codes, right_codes, side="right")
+        counts = hi - lo
+        total = int(counts.sum())
+        right_idx = np.repeat(np.arange(n_right, dtype=np.int64), counts)
+        starts = np.repeat(lo, counts)
+        run_offsets = np.repeat(np.cumsum(counts) - counts, counts)
+        within = np.arange(total, dtype=np.int64) - run_offsets
+        return order[starts + within].astype(np.int64, copy=False), right_idx
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_split_factorization_matches_direct(self, seed, tiny_db):
+        """The merged-uniques join path (with and without the cache)
+        produces exactly the indices of the direct concatenated-unique
+        factorization, over all key-column arities and dtypes."""
+        from repro.executor.iterators import _equi_join_indices
+        from repro.executor.runtime import KeyFactorCache
+
+        left, right, keys = self._frames(seed)
+        for arity in (1, 2, 3):
+            want = self._reference_indices(keys[:arity], left, right)
+            bare = _equi_join_indices(keys[:arity], left, right, None)
+            ctx = ExecutionContext(
+                database=tiny_db, factor_cache=KeyFactorCache()
+            )
+            cached = _equi_join_indices(keys[:arity], left, right, ctx)
+            cached_again = _equi_join_indices(keys[:arity], left, right, ctx)
+            for got in (bare, cached, cached_again):
+                np.testing.assert_array_equal(got[0], want[0])
+                np.testing.assert_array_equal(got[1], want[1])
+            # The repeat served every per-column unique from the memo.
+            assert ctx.factor_cache.reuses >= 2 * arity
+
+    def test_cache_keys_on_identity_not_value(self):
+        from repro.executor.runtime import KeyFactorCache
+
+        cache = KeyFactorCache()
+        col = np.array([3, 1, 3, 2], dtype=np.int64)
+        twin = col.copy()
+        u1, inv1 = cache.factorize(col)
+        u2, inv2 = cache.factorize(col)
+        assert u1 is u2 and inv1 is inv2
+        cache.factorize(twin)  # equal values, different array: a miss
+        assert cache.factorizations == 2
+        assert cache.reuses == 1
+        np.testing.assert_array_equal(u1, [1, 2, 3])
+        np.testing.assert_array_equal(inv1, [2, 0, 2, 1])
+
+    #: two queries over the same *unfiltered* join: both sides' key
+    #: columns alias the base table arrays (``table.column`` returns the
+    #: same ndarray; shared scans preserve that), so the second query's
+    #: join factorizes exactly the arrays the first already memoized.
+    #: CSE is off so the queries execute independently — the reuse comes
+    #: purely from the batch-wide factor cache.
+    SHARED_KEY_SQL = (
+        "select o_orderpriority, sum(l_extendedprice) as le "
+        "from orders, lineitem where o_orderkey = l_orderkey "
+        "group by o_orderpriority;"
+        "select l_returnflag, max(l_discount) as md "
+        "from orders, lineitem where o_orderkey = l_orderkey "
+        "group by l_returnflag"
+    )
+
+    def test_shared_join_keys_hit_cache_end_to_end(self, small_db):
+        """Two queries joining the same unfiltered tables on the same keys
+        record factorization reuses — and rows match the oracle."""
+        session = Session(small_db, OptimizerOptions(enable_cse=False))
+        batch = session.bind(self.SHARED_KEY_SQL)
+        outcome = session.execute(batch)
+        metrics = outcome.execution.metrics
+        assert metrics.key_factorizations > 0
+        # Both join key columns (orders.o_orderkey, lineitem.l_orderkey)
+        # were served from the memo on the second query.
+        assert metrics.key_factor_reuses >= 2
+        oracle = evaluate_batch(small_db, batch)
+        for query in batch.queries:
+            got = TestFullExecution._norm(
+                outcome.execution.query(query.name).rows
+            )
+            assert got == TestFullExecution._norm(oracle[query.name])
+
+    def test_parallel_matches_serial_with_cache(self, small_db):
+        serial = Session(small_db, OptimizerOptions()).execute(
+            TestFullExecution.SQL
+        )
+        parallel = Session(small_db, OptimizerOptions(), workers=4).execute(
+            TestFullExecution.SQL, parallel=True
+        )
+        assert [
+            (r.name, r.columns, r.rows) for r in serial.execution.results
+        ] == [
+            (r.name, r.columns, r.rows) for r in parallel.execution.results
+        ]
+        # The shared batch-wide cache records activity in the merged
+        # metrics exactly once.
+        assert parallel.execution.metrics.key_factorizations > 0

@@ -223,6 +223,89 @@ class TestResourceGovernor:
         holder.join(timeout=10)
         assert results == ["ran"]
 
+    def test_admission_order_is_fifo(self):
+        """Under contention, waiters are admitted in strict arrival order.
+
+        Regression test for the semaphore-based governor: a bare
+        ``Semaphore`` wakes an arbitrary waiter, so under contention the
+        admission order was scheduler-dependent. The ticket queue makes it
+        deterministic — required for reproducible coordinator windows."""
+        governor = ResourceGovernor(max_concurrent=1, max_queue=16)
+        for _round in range(3):
+            release = threading.Event()
+            holding = threading.Event()
+            order = []
+            order_lock = threading.Lock()
+
+            def hold():
+                with governor.admit():
+                    holding.set()
+                    release.wait(timeout=10)
+
+            def waiter(rank):
+                with governor.admit():
+                    with order_lock:
+                        order.append(rank)
+
+            holder = threading.Thread(target=hold)
+            holder.start()
+            assert holding.wait(timeout=5)
+            waiters = []
+            for rank in range(8):
+                thread = threading.Thread(target=waiter, args=(rank,))
+                thread.start()
+                waiters.append(thread)
+                # Confirm this waiter is queued before launching the next,
+                # so arrival order is exactly 0..7.
+                deadline = monotonic() + 5
+                while governor.waiting <= rank and monotonic() < deadline:
+                    time.sleep(0.001)
+                assert governor.waiting == rank + 1
+            release.set()
+            holder.join(timeout=10)
+            for thread in waiters:
+                thread.join(timeout=10)
+            assert order == list(range(8))
+        assert governor.active == 0 and governor.waiting == 0
+
+    def test_arrival_cannot_barge_past_waiters(self):
+        """A new arrival with a momentarily free slot still queues behind
+        existing waiters instead of stealing the slot."""
+        governor = ResourceGovernor(max_concurrent=1, max_queue=4)
+        release = threading.Event()
+        holding = threading.Event()
+        order = []
+
+        def hold():
+            with governor.admit():
+                holding.set()
+                release.wait(timeout=10)
+
+        def waiter(tag):
+            with governor.admit():
+                order.append(tag)
+                # Keep the slot briefly so the queue stays contended.
+                time.sleep(0.01)
+
+        holder = threading.Thread(target=hold)
+        holder.start()
+        assert holding.wait(timeout=5)
+        first = threading.Thread(target=waiter, args=("first",))
+        first.start()
+        deadline = monotonic() + 5
+        while governor.waiting < 1 and monotonic() < deadline:
+            time.sleep(0.001)
+        assert governor.waiting == 1
+        release.set()
+        holder.join(timeout=10)
+        # Race a late arrival against the queued waiter: it must append
+        # behind "first" even if the slot looks free at its arrival.
+        second = threading.Thread(target=waiter, args=("second",))
+        second.start()
+        first.join(timeout=10)
+        second.join(timeout=10)
+        assert order == ["first", "second"]
+
     def test_session_admission_rejection(self, small_db):
         governor = ResourceGovernor(max_concurrent=1, max_queue=0)
         session = Session(small_db, OptimizerOptions(), governor=governor)
